@@ -1,0 +1,277 @@
+#include "harness.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+
+#include "common/bytes.h"
+#include "common/rng.h"
+
+namespace lbchat::bench {
+
+namespace {
+
+/// Bump to invalidate every cached result after behavioural code changes.
+constexpr std::uint32_t kCacheVersion = 1;
+
+double bench_scale() {
+  const char* env = std::getenv("LBCHAT_BENCH_SCALE");
+  if (env == nullptr) return 1.0;
+  const double v = std::atof(env);
+  return v > 0.01 ? v : 1.0;
+}
+
+std::filesystem::path cache_dir() {
+  const char* env = std::getenv("LBCHAT_BENCH_CACHE");
+  std::filesystem::path dir = env != nullptr ? env : ".bench_cache";
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+class FingerprintHasher {
+ public:
+  void add(double v) { w_.write_f64(v); }
+  void add(std::uint64_t v) { w_.write_u64(v); }
+  void add(int v) { w_.write_i32(v); }
+  void add(bool v) { w_.write_u8(v ? 1 : 0); }
+  void add(const std::string& s) { w_.write_string(s); }
+
+  [[nodiscard]] std::uint64_t digest() const {
+    std::uint64_t h = 0xCBF29CE484222325ULL;
+    for (const std::uint8_t b : w_.bytes()) {
+      h ^= b;
+      h *= 0x100000001B3ULL;
+    }
+    return h;
+  }
+
+ private:
+  ByteWriter w_;
+};
+
+void hash_scenario(FingerprintHasher& h, const engine::ScenarioConfig& c) {
+  h.add(kCacheVersion != 0 ? static_cast<std::uint64_t>(kCacheVersion) : 0);
+  h.add(c.seed);
+  h.add(c.num_vehicles);
+  h.add(c.wireless_loss);
+  h.add(c.collect_duration_s);
+  h.add(c.collect_fps);
+  h.add(c.validation_fraction);
+  h.add(c.eval_frames_per_vehicle);
+  h.add(c.duration_s);
+  h.add(c.tick_s);
+  h.add(c.train_interval_s);
+  h.add(c.batch_size);
+  h.add(c.learning_rate);
+  h.add(c.eval_interval_s);
+  h.add(c.time_budget_s);
+  h.add(static_cast<std::uint64_t>(c.coreset_size));
+  h.add(c.pair_cooldown_s);
+  h.add(c.lambda_c);
+  h.add(c.session_timeout_s);
+  h.add(c.coreset_rebuild_interval_s);
+  h.add(c.radio.bandwidth_bps);
+  h.add(c.radio.packet_bytes);
+  h.add(c.radio.max_retransmissions);
+  h.add(c.radio.max_range_m);
+  h.add(static_cast<std::uint64_t>(c.wire.model_bytes));
+  h.add(static_cast<std::uint64_t>(c.wire.coreset_bytes_per_sample));
+  h.add(static_cast<std::uint64_t>(c.wire.assist_info_bytes));
+  h.add(c.world.num_background_cars);
+  h.add(c.world.num_pedestrians);
+  h.add(c.world.car_max_speed);
+  h.add(c.world.urban_dweller_fraction);
+  h.add(c.world.perturb_prob);
+  h.add(c.penalty.lambda1);
+  h.add(c.penalty.lambda2);
+  h.add(c.policy.conv1_channels);
+  h.add(c.policy.conv2_channels);
+  h.add(c.policy.fc_dim);
+  h.add(c.policy.branch_hidden);
+}
+
+void write_run(const std::filesystem::path& path, const CachedRun& run) {
+  ByteWriter w;
+  w.write_u32(kCacheVersion);
+  w.write_f64_vec(run.loss_curve.times);
+  w.write_f64_vec(run.loss_curve.values);
+  w.write_i32(run.transfers.model_sends_started);
+  w.write_i32(run.transfers.model_sends_completed);
+  w.write_i32(run.transfers.coreset_sends_started);
+  w.write_i32(run.transfers.coreset_sends_completed);
+  w.write_i32(run.transfers.sessions_started);
+  w.write_i32(run.transfers.sessions_aborted);
+  w.write_u64(run.transfers.bytes_delivered);
+  w.write_u64(static_cast<std::uint64_t>(run.train_steps));
+  w.write_u32(static_cast<std::uint32_t>(run.final_params.size()));
+  for (const auto& p : run.final_params) w.write_f32_vec(p);
+  std::ofstream out{path, std::ios::binary};
+  out.write(reinterpret_cast<const char*>(w.bytes().data()),
+            static_cast<std::streamsize>(w.size()));
+}
+
+bool read_run(const std::filesystem::path& path, CachedRun& run) {
+  std::ifstream in{path, std::ios::binary};
+  if (!in) return false;
+  std::vector<std::uint8_t> bytes{std::istreambuf_iterator<char>(in),
+                                  std::istreambuf_iterator<char>()};
+  try {
+    ByteReader r{bytes};
+    if (r.read_u32() != kCacheVersion) return false;
+    run.loss_curve.times = r.read_f64_vec();
+    run.loss_curve.values = r.read_f64_vec();
+    run.transfers.model_sends_started = r.read_i32();
+    run.transfers.model_sends_completed = r.read_i32();
+    run.transfers.coreset_sends_started = r.read_i32();
+    run.transfers.coreset_sends_completed = r.read_i32();
+    run.transfers.sessions_started = r.read_i32();
+    run.transfers.sessions_aborted = r.read_i32();
+    run.transfers.bytes_delivered = r.read_u64();
+    run.train_steps = static_cast<long>(r.read_u64());
+    const auto n = r.read_u32();
+    run.final_params.clear();
+    for (std::uint32_t i = 0; i < n; ++i) run.final_params.push_back(r.read_f32_vec());
+  } catch (const std::exception&) {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+engine::ScenarioConfig default_scenario(bool wireless_loss) {
+  engine::ScenarioConfig cfg;
+  cfg.seed = 1;
+  cfg.num_vehicles = 16;
+  cfg.wireless_loss = wireless_loss;
+  cfg.collect_duration_s = 600.0;
+  cfg.duration_s = 1800.0 * bench_scale();
+  cfg.eval_interval_s = 100.0;
+  return cfg;
+}
+
+eval::EvalConfig default_eval_config() {
+  eval::EvalConfig ec;
+  ec.world_seed = 1;  // the town the fleet trained in
+  ec.trials = 16;
+  return ec;
+}
+
+std::uint64_t run_fingerprint(const engine::ScenarioConfig& cfg,
+                              baselines::Approach approach) {
+  FingerprintHasher h;
+  h.add(std::string{baselines::approach_name(approach)});
+  // Protocol revision salt for the LbChat-family strategies (phi sampling +
+  // aggregation guard changes invalidate only their cached runs).
+  switch (approach) {
+    case baselines::Approach::kLbChat:
+    case baselines::Approach::kLbChatEqualComp:
+    case baselines::Approach::kLbChatAvgAgg:
+      h.add(std::string{"lbchat-proto-v3"});
+      break;
+    default:
+      break;
+  }
+  hash_scenario(h, cfg);
+  return h.digest();
+}
+
+CachedRun run_or_load(const engine::ScenarioConfig& cfg, baselines::Approach approach) {
+  const std::uint64_t key = run_fingerprint(cfg, approach);
+  char name[64];
+  std::snprintf(name, sizeof name, "run_%016llx.bin",
+                static_cast<unsigned long long>(key));
+  const auto path = cache_dir() / name;
+  CachedRun run;
+  if (read_run(path, run)) return run;
+
+  std::fprintf(stderr, "[bench] training %s (wireless=%d, |C|=%zu, %.0fs)...\n",
+               std::string{baselines::approach_name(approach)}.c_str(),
+               cfg.wireless_loss ? 1 : 0, cfg.coreset_size, cfg.duration_s);
+  engine::FleetSim sim{cfg, baselines::make_strategy(approach)};
+  const engine::RunMetrics m = sim.run();
+  run.loss_curve = m.loss_curve;
+  run.transfers = m.transfers;
+  run.final_params = m.final_params;
+  run.train_steps = m.train_steps;
+  write_run(path, run);
+  return run;
+}
+
+std::array<double, 5> success_rates_or_load(const engine::ScenarioConfig& cfg,
+                                            baselines::Approach approach,
+                                            const CachedRun& run, int models_to_eval) {
+  const eval::EvalConfig ec = default_eval_config();
+  FingerprintHasher h;
+  h.add(run_fingerprint(cfg, approach));
+  h.add(ec.trials);
+  h.add(models_to_eval);
+  h.add(std::string{"success-v1"});
+  char name[64];
+  std::snprintf(name, sizeof name, "eval_%016llx.bin",
+                static_cast<unsigned long long>(h.digest()));
+  const auto path = cache_dir() / name;
+
+  {
+    std::ifstream in{path, std::ios::binary};
+    if (in) {
+      std::vector<std::uint8_t> bytes{std::istreambuf_iterator<char>(in),
+                                      std::istreambuf_iterator<char>()};
+      try {
+        ByteReader r{bytes};
+        std::array<double, 5> rates{};
+        for (double& v : rates) v = r.read_f64();
+        return rates;
+      } catch (const std::exception&) {
+        // fall through to recompute
+      }
+    }
+  }
+
+  std::fprintf(stderr, "[bench] online eval of %s (%d models x %d trials)...\n",
+               std::string{baselines::approach_name(approach)}.c_str(), models_to_eval,
+               ec.trials);
+  eval::OnlineEvaluator evaluator{ec};
+  // Spread the evaluated vehicles across the fleet (urban + rural dwellers).
+  std::array<double, 5> rates{};
+  const int n = static_cast<int>(run.final_params.size());
+  const int k = std::min(models_to_eval, n);
+  for (int m = 0; m < k; ++m) {
+    const int v = k > 1 ? m * (n - 1) / (k - 1) : 0;
+    nn::DrivingPolicy model{cfg.policy, /*init_seed=*/0};
+    model.set_params(run.final_params[static_cast<std::size_t>(v)]);
+    for (std::size_t task = 0; task < eval::kAllTasks.size(); ++task) {
+      rates[task] += 100.0 * evaluator.success_rate(model, eval::kAllTasks[task]);
+    }
+  }
+  for (double& v : rates) v /= std::max(k, 1);
+
+  ByteWriter w;
+  for (const double v : rates) w.write_f64(v);
+  std::ofstream out{path, std::ios::binary};
+  out.write(reinterpret_cast<const char*>(w.bytes().data()),
+            static_cast<std::streamsize>(w.size()));
+  return rates;
+}
+
+void print_paper_table(const std::string& title, const std::vector<SuccessColumn>& columns) {
+  std::printf("\n%s\n", title.c_str());
+  std::printf("%-16s", "Task");
+  for (const auto& col : columns) std::printf("  %12s", col.name.c_str());
+  std::printf("\n");
+  for (std::size_t task = 0; task < eval::kAllTasks.size(); ++task) {
+    std::printf("%-16s", std::string{eval::task_name(eval::kAllTasks[task])}.c_str());
+    for (const auto& col : columns) std::printf("  %12.0f", col.rates[task]);
+    std::printf("\n");
+  }
+}
+
+void print_loss_series(const std::string& label, const TimeSeries& series) {
+  std::printf("%s:\n", label.c_str());
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    std::printf("  t=%6.0fs  loss=%.4f\n", series.times[i], series.values[i]);
+  }
+}
+
+}  // namespace lbchat::bench

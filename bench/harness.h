@@ -1,0 +1,68 @@
+// Shared campaign harness for the paper-reproduction benches.
+//
+// Every bench binary (one per table/figure) asks the harness for the runs it
+// needs; results are cached on disk under .bench_cache keyed by a fingerprint
+// of the full scenario configuration + approach, so `for b in build/bench/*`
+// trains each (approach x configuration) exactly once and later binaries
+// reuse the models. Online-evaluation results are cached the same way.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "baselines/factory.h"
+#include "common/stats.h"
+#include "engine/fleet.h"
+#include "engine/metrics.h"
+#include "eval/online.h"
+
+namespace lbchat::bench {
+
+/// The bench-scale scenario shared by all experiments (the paper's setup
+/// scaled to a single CPU core; see DESIGN.md for the mapping). The
+/// LBCHAT_BENCH_SCALE env var (default 1.0) scales the training horizon.
+[[nodiscard]] engine::ScenarioConfig default_scenario(bool wireless_loss);
+
+/// The online-evaluation configuration matched to default_scenario.
+[[nodiscard]] eval::EvalConfig default_eval_config();
+
+/// Cacheable outcome of one training run.
+struct CachedRun {
+  TimeSeries loss_curve;
+  engine::TransferStats transfers;
+  std::vector<std::vector<float>> final_params;
+  long train_steps = 0;
+};
+
+/// Deterministic fingerprint of a scenario (all fields) + approach name.
+[[nodiscard]] std::uint64_t run_fingerprint(const engine::ScenarioConfig& cfg,
+                                            baselines::Approach approach);
+
+/// Run the campaign entry (or load it from .bench_cache). Prints a one-line
+/// progress note to stderr when an actual run is required.
+[[nodiscard]] CachedRun run_or_load(const engine::ScenarioConfig& cfg,
+                                    baselines::Approach approach);
+
+/// Per-task driving success rates (percent) of an approach's final models:
+/// the first `models_to_eval` vehicles' models are deployed on the testing
+/// autopilot and their success rates averaged. Cached.
+[[nodiscard]] std::array<double, 5> success_rates_or_load(const engine::ScenarioConfig& cfg,
+                                                          baselines::Approach approach,
+                                                          const CachedRun& run,
+                                                          int models_to_eval = 5);
+
+/// One column of a paper-style success-rate table (an approach/variant).
+struct SuccessColumn {
+  std::string name;
+  std::array<double, 5> rates;  ///< percent, indexed by eval::DrivingTask
+};
+
+/// Print a table in the paper's layout: tasks as rows, approaches as columns.
+void print_paper_table(const std::string& title, const std::vector<SuccessColumn>& columns);
+
+/// Print a loss-vs-time series block (for the figure benches).
+void print_loss_series(const std::string& label, const TimeSeries& series);
+
+}  // namespace lbchat::bench

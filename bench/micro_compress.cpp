@@ -1,0 +1,70 @@
+// Micro-benchmarks for model compression and the Eq. (7) machinery: top-k
+// sparsification across compression ratios, phi-mapping construction, and the
+// grid optimizer.
+#include <benchmark/benchmark.h>
+
+#include "core/compress_opt.h"
+#include "coreset/coreset.h"
+#include "nn/compress.h"
+#include "nn/policy.h"
+#include "sim/world.h"
+
+namespace {
+
+using namespace lbchat;
+
+void BM_TopKSparsify(benchmark::State& state) {
+  nn::DrivingPolicy model;
+  const double psi = static_cast<double>(state.range(0)) / 100.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(nn::compress_for_psi(model.params(), psi));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<long>(model.param_count()));
+}
+BENCHMARK(BM_TopKSparsify)->Arg(10)->Arg(25)->Arg(50)->Arg(100);
+
+void BM_SparseDensify(benchmark::State& state) {
+  nn::DrivingPolicy model;
+  const auto sparse = nn::compress_for_psi(model.params(), 0.25);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sparse.densify());
+  }
+}
+BENCHMARK(BM_SparseDensify);
+
+void BM_PhiMappingBuild(benchmark::State& state) {
+  sim::World world{sim::WorldConfig{}, 1, 7};
+  data::WeightedDataset ds{data::kDefaultBevSpec};
+  for (std::size_t f = 0; f < 400; ++f) {
+    world.step(0.5);
+    ds.add(world.collect_sample(0, f));
+  }
+  nn::DrivingPolicy model;
+  Rng rng{3};
+  coreset::CoresetConfig ccfg;
+  ccfg.target_size = 150;
+  const auto cs = coreset::build_layered_coreset(ds, model, ccfg, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::PhiMapping::build(model, cs, {}));
+  }
+}
+BENCHMARK(BM_PhiMappingBuild);
+
+void BM_OptimizeCompression(benchmark::State& state) {
+  core::CompressionProblem p;
+  p.loss_i_on_cj = 0.3;
+  p.loss_j_on_ci = 0.25;
+  p.phi_i = core::PhiMapping{{0.125, 0.25, 0.5, 0.75, 1.0}, {0.5, 0.4, 0.3, 0.25, 0.2}};
+  p.phi_j = core::PhiMapping{{0.125, 0.25, 0.5, 0.75, 1.0}, {0.6, 0.45, 0.35, 0.3, 0.22}};
+  p.model_bytes = 52.0 * 1024 * 1024;
+  p.bandwidth_bps = 31e6;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::optimize_compression(p));
+  }
+}
+BENCHMARK(BM_OptimizeCompression);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,71 @@
+// Micro-benchmarks for the coreset substrate: Algorithm 1 construction cost
+// across dataset sizes, coreset evaluation, and merge+reduce — the
+// per-encounter costs the paper argues are small enough to run on-vehicle.
+#include <benchmark/benchmark.h>
+
+#include "coreset/coreset.h"
+#include "data/dataset.h"
+#include "nn/policy.h"
+#include "sim/world.h"
+
+namespace {
+
+using namespace lbchat;
+
+struct Fixture {
+  sim::World world{sim::WorldConfig{}, 1, 7};
+  data::WeightedDataset dataset{data::kDefaultBevSpec};
+  nn::DrivingPolicy model;
+  Rng rng{11};
+
+  explicit Fixture(std::size_t frames) {
+    for (std::size_t f = 0; f < frames; ++f) {
+      world.step(0.5);
+      dataset.add(world.collect_sample(0, f));
+    }
+  }
+};
+
+void BM_LayeredCoresetConstruction(benchmark::State& state) {
+  Fixture fx{static_cast<std::size_t>(state.range(0))};
+  coreset::CoresetConfig cfg;
+  cfg.target_size = 150;
+  for (auto _ : state) {
+    auto c = coreset::build_layered_coreset(fx.dataset, fx.model, cfg, fx.rng);
+    benchmark::DoNotOptimize(c);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_LayeredCoresetConstruction)->Arg(200)->Arg(400)->Arg(800);
+
+void BM_CoresetEvaluation(benchmark::State& state) {
+  Fixture fx{400};
+  coreset::CoresetConfig cfg;
+  cfg.target_size = static_cast<std::size_t>(state.range(0));
+  const auto c = coreset::build_layered_coreset(fx.dataset, fx.model, cfg, fx.rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(coreset::evaluate_on_coreset(fx.model, c));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_CoresetEvaluation)->Arg(15)->Arg(150);
+
+void BM_CoresetMergeReduce(benchmark::State& state) {
+  Fixture fx{400};
+  coreset::CoresetConfig cfg;
+  cfg.target_size = 150;
+  Rng rng_a = fx.rng.fork("a");
+  Rng rng_b = fx.rng.fork("b");
+  const auto a = coreset::build_layered_coreset(fx.dataset, fx.model, cfg, rng_a);
+  const auto b = coreset::build_layered_coreset(fx.dataset, fx.model, cfg, rng_b);
+  for (auto _ : state) {
+    auto merged = coreset::merge_coresets(a, b);
+    auto reduced = coreset::reduce_coreset(merged, fx.model, 150, fx.rng);
+    benchmark::DoNotOptimize(reduced);
+  }
+}
+BENCHMARK(BM_CoresetMergeReduce);
+
+}  // namespace
+
+BENCHMARK_MAIN();

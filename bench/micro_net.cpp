@@ -1,0 +1,91 @@
+// Micro-benchmarks for the wireless/network substrate and the driving world:
+// channel transfer ticks, contact estimation, BEV rendering, and the policy's
+// forward/backward pass.
+#include <benchmark/benchmark.h>
+
+#include "net/contact.h"
+#include "net/wireless.h"
+#include "data/dataset.h"
+#include "nn/optim.h"
+#include "nn/policy.h"
+#include "sim/world.h"
+
+namespace {
+
+using namespace lbchat;
+
+void BM_TransferTick(benchmark::State& state) {
+  const net::RadioConfig radio;
+  const auto loss = net::WirelessLossModel::default_table(radio.max_range_m);
+  Rng rng{5};
+  net::Transfer t{52ull * 1024 * 1024, radio};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(t.tick(80.0, 0.5, loss, rng));
+    if (t.complete()) t = net::Transfer{52ull * 1024 * 1024, radio};
+  }
+}
+BENCHMARK(BM_TransferTick);
+
+void BM_ContactEstimate(benchmark::State& state) {
+  sim::World world{sim::WorldConfig{}, 2, 9};
+  for (int i = 0; i < 40; ++i) world.step(0.5);
+  const net::RadioConfig radio;
+  const auto loss = net::WirelessLossModel::default_table(radio.max_range_m);
+  net::AssistInfo a;
+  a.pos = world.vehicle(0).pos;
+  a.speed = 10.0;
+  a.route = &world.vehicle(0).route;
+  net::AssistInfo b;
+  b.pos = world.vehicle(1).pos;
+  b.speed = 9.0;
+  b.route = &world.vehicle(1).route;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net::estimate_contact(a, b, radio, loss));
+  }
+}
+BENCHMARK(BM_ContactEstimate);
+
+void BM_BevRender(benchmark::State& state) {
+  sim::World world{sim::WorldConfig{}, 4, 9};
+  for (int i = 0; i < 40; ++i) world.step(0.5);
+  const auto& v = world.vehicle(0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(world.render_ego_bev(v.pos, v.heading, v.route, v.s, 0));
+  }
+}
+BENCHMARK(BM_BevRender);
+
+void BM_PolicyTrainBatch(benchmark::State& state) {
+  sim::World world{sim::WorldConfig{}, 1, 9};
+  data::WeightedDataset ds{data::kDefaultBevSpec};
+  for (std::size_t f = 0; f < 128; ++f) {
+    world.step(0.5);
+    ds.add(world.collect_sample(0, f));
+  }
+  nn::DrivingPolicy model;
+  nn::Adam opt{1e-3};
+  Rng rng{2};
+  for (auto _ : state) {
+    const auto idx = ds.sample_batch(rng, 32);
+    std::vector<const data::Sample*> batch;
+    for (const auto i : idx) batch.push_back(&ds[i]);
+    benchmark::DoNotOptimize(model.train_batch(batch, opt));
+  }
+  state.SetItemsProcessed(state.iterations() * 32);
+}
+BENCHMARK(BM_PolicyTrainBatch);
+
+void BM_PolicyPredict(benchmark::State& state) {
+  sim::World world{sim::WorldConfig{}, 1, 9};
+  world.step(0.5);
+  const auto sample = world.collect_sample(0, 1);
+  nn::DrivingPolicy model;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.predict(sample.bev, sample.command));
+  }
+}
+BENCHMARK(BM_PolicyPredict);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,26 @@
+// Table V ablation: mask the coreset-based compression-ratio optimization of
+// Eq. (7); vehicles use equal fit-to-window compression ratios instead.
+#include "harness.h"
+
+int main() {
+  using namespace lbchat;
+  std::vector<bench::SuccessColumn> columns;
+  for (const bool wireless : {false, true}) {
+    const auto cfg = bench::default_scenario(wireless);
+    const auto run = bench::run_or_load(cfg, baselines::Approach::kLbChatEqualComp);
+    columns.push_back(
+        {std::string{wireless ? "equal (W)" : "equal (W/O)"},
+         bench::success_rates_or_load(cfg, baselines::Approach::kLbChatEqualComp, run, 3)});
+  }
+  // Full LbChat for reference.
+  for (const bool wireless : {false, true}) {
+    const auto cfg = bench::default_scenario(wireless);
+    const auto run = bench::run_or_load(cfg, baselines::Approach::kLbChat);
+    columns.push_back(
+        {std::string{wireless ? "LbChat (W)" : "LbChat (W/O)"},
+         bench::success_rates_or_load(cfg, baselines::Approach::kLbChat, run, 3)});
+  }
+  bench::print_paper_table(
+      "=== Table V: driving success rate with equal comp. ratio (%) ===", columns);
+  return 0;
+}

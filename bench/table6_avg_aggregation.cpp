@@ -1,0 +1,25 @@
+// Table VI ablation: replace the coreset-based model aggregation of Eq. (8)
+// with plain averaging.
+#include "harness.h"
+
+int main() {
+  using namespace lbchat;
+  std::vector<bench::SuccessColumn> columns;
+  for (const bool wireless : {false, true}) {
+    const auto cfg = bench::default_scenario(wireless);
+    const auto run = bench::run_or_load(cfg, baselines::Approach::kLbChatAvgAgg);
+    columns.push_back(
+        {std::string{wireless ? "avg (W)" : "avg (W/O)"},
+         bench::success_rates_or_load(cfg, baselines::Approach::kLbChatAvgAgg, run, 3)});
+  }
+  for (const bool wireless : {false, true}) {
+    const auto cfg = bench::default_scenario(wireless);
+    const auto run = bench::run_or_load(cfg, baselines::Approach::kLbChat);
+    columns.push_back(
+        {std::string{wireless ? "LbChat (W)" : "LbChat (W/O)"},
+         bench::success_rates_or_load(cfg, baselines::Approach::kLbChat, run, 3)});
+  }
+  bench::print_paper_table(
+      "=== Table VI: driving success rate with avg. aggregation (%) ===", columns);
+  return 0;
+}

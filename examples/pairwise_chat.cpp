@@ -1,0 +1,120 @@
+// Pairwise chat walkthrough: the LbChat protocol between two vehicles,
+// narrated step by step (paper §III, Fig. 1).
+//
+// Two vehicles with different home regions (urban vs rural) collect local
+// datasets, train briefly, then "chat": exchange coresets, evaluate each
+// other's models on them, build the phi mappings, solve Eq. (7) for the
+// compression ratios, exchange top-k-compressed models, and aggregate with
+// the coreset-weighted rule of Eq. (8).
+//
+// Run:  ./build/examples/pairwise_chat
+
+#include <cstdio>
+
+#include "core/compress_opt.h"
+#include "coreset/coreset.h"
+#include "net/wireless.h"
+#include "nn/optim.h"
+#include "sim/world.h"
+
+int main() {
+  using namespace lbchat;
+
+  // --- Two vehicles with different experiences -----------------------------
+  sim::WorldConfig wc;
+  sim::World world{wc, 2, /*seed=*/3};
+  data::WeightedDataset ds_a{wc.bev};
+  data::WeightedDataset ds_b{wc.bev};
+  for (std::uint64_t f = 0; f < 500; ++f) {
+    world.step(0.5);
+    ds_a.add(world.collect_sample(0, f));
+    ds_b.add(world.collect_sample(1, (1ull << 32) | f));
+  }
+  const auto train = [](nn::DrivingPolicy& m, const data::WeightedDataset& ds, Rng rng) {
+    nn::Adam opt{1e-3};
+    for (int step = 0; step < 400; ++step) {
+      const auto idx = ds.sample_batch(rng, 32);
+      std::vector<const data::Sample*> batch;
+      for (const auto i : idx) batch.push_back(&ds[i]);
+      m.train_batch(batch, opt);
+    }
+  };
+  nn::DrivingPolicy model_a;
+  nn::DrivingPolicy model_b;
+  Rng rng{11};
+  train(model_a, ds_a, rng.fork("a"));
+  train(model_b, ds_b, rng.fork("b"));
+  std::printf("vehicle A: %zu frames;  vehicle B: %zu frames\n", ds_a.size(), ds_b.size());
+
+  // --- Step 1: coreset construction (Algorithm 1) --------------------------
+  coreset::CoresetConfig ccfg;
+  ccfg.target_size = 100;
+  Rng cs_rng = rng.fork("coreset");
+  const auto cs_a = coreset::build_layered_coreset(ds_a, model_a, ccfg, cs_rng);
+  const auto cs_b = coreset::build_layered_coreset(ds_b, model_b, ccfg, cs_rng);
+  const net::WireSizeModel wire;
+  std::printf("coresets: |C_A|=%zu |C_B|=%zu (~%.2f MB each on the wire, model %.0f MB)\n",
+              cs_a.size(), cs_b.size(),
+              wire.coreset_bytes(cs_a.size()) / 1048576.0, wire.model_bytes / 1048576.0);
+
+  // --- Step 2: cross-evaluation (value assessment) -------------------------
+  const coreset::PenaltyConfig penalty;
+  const double a_on_ca = core::normalized_coreset_loss(model_a, cs_a, penalty);
+  const double a_on_cb = core::normalized_coreset_loss(model_a, cs_b, penalty);
+  const double b_on_ca = core::normalized_coreset_loss(model_b, cs_a, penalty);
+  const double b_on_cb = core::normalized_coreset_loss(model_b, cs_b, penalty);
+  std::printf("losses: f(A;C_A)=%.4f f(A;C_B)=%.4f f(B;C_A)=%.4f f(B;C_B)=%.4f\n",
+              a_on_ca, a_on_cb, b_on_ca, b_on_cb);
+  std::printf("value of B's model to A: %.4f   value of A's model to B: %.4f\n",
+              std::max(a_on_cb - b_on_cb, 0.0), std::max(b_on_ca - a_on_ca, 0.0));
+
+  // --- Step 3: phi mappings + Eq. (7) --------------------------------------
+  core::CompressionProblem prob;
+  prob.loss_i_on_cj = a_on_cb;
+  prob.loss_j_on_ci = b_on_ca;
+  prob.phi_i = core::PhiMapping::build(model_a, cs_a, penalty);
+  prob.phi_j = core::PhiMapping::build(model_b, cs_b, penalty);
+  prob.model_bytes = static_cast<double>(wire.model_bytes);
+  prob.bandwidth_bps = 31e6;
+  prob.time_budget_s = 15.0;
+  prob.contact_s = 40.0;
+  prob.lambda_c = 0.0005;
+  std::printf("phi_A samples:");
+  for (std::size_t i = 0; i < prob.phi_i.sample_psis().size(); ++i) {
+    std::printf(" (%.3f -> %.4f)", prob.phi_i.sample_psis()[i], prob.phi_i.sample_losses()[i]);
+  }
+  std::printf("\n");
+  const core::CompressionDecision d = core::optimize_compression(prob);
+  std::printf("Eq.(7): psi_A=%.2f psi_B=%.2f  T_c=%.1fs  gains=(to B: %.4f, to A: %.4f)\n",
+              d.psi_i, d.psi_j, d.exchange_time_s, d.gain_to_j, d.gain_to_i);
+
+  // --- Step 4: compressed exchange + Eq. (8) aggregation --------------------
+  if (d.psi_j > 0.0) {
+    const nn::SparseModel wire_model = nn::compress_for_psi(model_b.params(), d.psi_j);
+    nn::DrivingPolicy received{model_a.config(), 0};
+    received.set_params(wire_model.densify());
+    const auto joint = coreset::merge_coresets(cs_a, cs_b);
+    const double l_self = core::normalized_coreset_loss(model_a, joint, penalty);
+    const double l_peer = core::normalized_coreset_loss(received, joint, penalty);
+    const double w_self = l_peer / (l_self + l_peer);
+    const double w_peer = l_self / (l_self + l_peer);
+    std::printf("aggregation on C_A u C_B: losses (self %.4f, recv %.4f) -> weights (%.2f, %.2f)\n",
+                l_self, l_peer, w_self, w_peer);
+    auto params = model_a.params();
+    const auto peer = received.params();
+    for (std::size_t k = 0; k < params.size(); ++k) {
+      params[k] = static_cast<float>(w_self * params[k] + w_peer * peer[k]);
+    }
+    const double after = core::normalized_coreset_loss(model_a, joint, penalty);
+    std::printf("A's loss on the joint coreset: before %.4f -> after aggregation %.4f\n",
+                l_self, after);
+  } else {
+    std::printf("Eq.(7) decided B's model is not worth receiving at this encounter.\n");
+  }
+
+  // --- Step 5: dataset expansion (paper §III-D) -----------------------------
+  const auto added = ds_a.absorb(cs_b.samples);
+  std::printf("A absorbed %zu of B's coreset frames; local dataset now %zu frames\n",
+              added, ds_a.size());
+  return 0;
+}

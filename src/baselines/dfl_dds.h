@@ -1,0 +1,49 @@
+// DFL-DDS [30] — synchronous fully-decentralized learning with data-source
+// diversification.
+//
+// Vehicles operate in global rounds of length T_B (the paper aligns the round
+// length with LbChat's time budget). At each round boundary, in-range idle
+// vehicles pair up and exchange models (equal fit-to-window compression). A
+// vehicle tracks a "data source composition" vector describing how much each
+// peer's data has contributed to its model, and tunes its aggregation weight
+// to diversify the sources — implemented as an entropy-maximizing line search
+// over the mixing coefficient, the spirit of the original's KL-based tuning.
+#pragma once
+
+#include <vector>
+
+#include "baselines/gossip_base.h"
+
+namespace lbchat::baselines {
+
+struct DflDdsOptions {
+  double alpha_min = 0.1;  ///< search range for the peer mixing weight
+  double alpha_max = 0.6;
+  int alpha_steps = 11;
+};
+
+class DflDdsStrategy final : public GossipBaseStrategy {
+ public:
+  explicit DflDdsStrategy(DflDdsOptions opts = {}) : opts_(opts) {}
+
+  [[nodiscard]] std::string_view name() const override { return "DFL-DDS"; }
+  void setup(engine::FleetSim& sim) override;
+  void on_tick(engine::FleetSim& sim) override;
+
+  [[nodiscard]] const std::vector<double>& composition(int v) const {
+    return compositions_[static_cast<std::size_t>(v)];
+  }
+
+ protected:
+  void aggregate(engine::FleetSim& sim, int receiver, int sender,
+                 const std::vector<float>& peer_params,
+                 const std::vector<double>& sender_comp) override;
+  [[nodiscard]] std::vector<double> composition_of(engine::FleetSim& sim, int v) override;
+
+ private:
+  DflDdsOptions opts_;
+  std::vector<std::vector<double>> compositions_;
+  double next_round_s_ = 0.0;
+};
+
+}  // namespace lbchat::baselines

@@ -1,0 +1,25 @@
+// Decentralized Powerloss (DP) [5] — asynchronous gossip learning with
+// loss-based model merging.
+//
+// A vehicle evaluates a received model on its local validation dataset and
+// derives the aggregation weights from a normalized logarithmic function of
+// the losses: lower validation loss -> larger weight. Exchanges use the same
+// communication constraints as LbChat with equal fit-to-window compression.
+#pragma once
+
+#include "baselines/gossip_base.h"
+
+namespace lbchat::baselines {
+
+class DpStrategy final : public GossipBaseStrategy {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "DP"; }
+  void on_tick(engine::FleetSim& sim) override;
+
+ protected:
+  void aggregate(engine::FleetSim& sim, int receiver, int sender,
+                 const std::vector<float>& peer_params,
+                 const std::vector<double>& sender_comp) override;
+};
+
+}  // namespace lbchat::baselines

@@ -1,0 +1,29 @@
+// Factory for every approach evaluated in the paper, keyed by the names used
+// in its tables: ProxSkip, RSU-L, DFL-DDS, DP, LbChat, SCO, and the two
+// LbChat ablations.
+#pragma once
+
+#include <memory>
+#include <string_view>
+
+#include "engine/fleet.h"
+
+namespace lbchat::baselines {
+
+enum class Approach {
+  kProxSkip,
+  kRsuL,
+  kDflDds,
+  kDp,
+  kLbChat,
+  kSco,                 ///< share coresets only (§IV-G)
+  kLbChatEqualComp,     ///< Table V ablation: equal compression ratios
+  kLbChatAvgAgg,        ///< Table VI ablation: plain averaging aggregation
+};
+
+[[nodiscard]] std::unique_ptr<engine::Strategy> make_strategy(Approach approach);
+[[nodiscard]] std::string_view approach_name(Approach approach);
+/// Inverse of approach_name; throws std::invalid_argument on unknown names.
+[[nodiscard]] Approach approach_from_name(std::string_view name);
+
+}  // namespace lbchat::baselines

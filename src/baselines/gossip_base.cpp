@@ -1,0 +1,51 @@
+#include "baselines/gossip_base.h"
+
+#include <algorithm>
+
+namespace lbchat::baselines {
+
+using engine::FleetSim;
+using engine::PairSession;
+using engine::StageTag;
+
+bool GossipBaseStrategy::start_exchange(FleetSim& sim, int a, int b) {
+  const auto& cfg = sim.config();
+  // Contact estimated WITHOUT shared routes (constant-velocity fallback).
+  const net::ContactEstimate contact = sim.estimate_contact_between(a, b, /*share_routes=*/false);
+  const double window = std::min(cfg.time_budget_s, contact.duration_s);
+  const double full_time =
+      2.0 * static_cast<double>(cfg.wire.model_bytes) * 8.0 / cfg.radio.bandwidth_bps;
+  const double psi = full_time > 0.0 ? std::clamp(window / full_time, 0.0, 1.0) : 0.0;
+  if (psi < 0.02) return false;  // not worth initiating
+
+  PairSession& s = sim.start_session(a, b);
+  // The pair decouples once the planned window elapses (time-budget
+  // semantics); under wireless loss the blindly-sized transfer overruns and
+  // fails — the mechanism behind these baselines' low receiving rates.
+  s.deadline_s = sim.time() + window;
+  auto ex = std::make_shared<ExchangeData>();
+  ex->model_a = nn::compress_for_psi(sim.node(a).model.params(), psi);
+  ex->model_b = nn::compress_for_psi(sim.node(b).model.params(), psi);
+  ex->comp_a = composition_of(sim, a);
+  ex->comp_b = composition_of(sim, b);
+  s.data = ex;
+  sim.queue_transfer(s, a, cfg.wire.model_bytes_at(psi), {StageTag::kModel, a, 0});
+  sim.queue_transfer(s, b, cfg.wire.model_bytes_at(psi), {StageTag::kModel, b, 0});
+  return true;
+}
+
+void GossipBaseStrategy::on_transfer_complete(FleetSim& sim, PairSession& s,
+                                              const StageTag& tag) {
+  if (tag.kind != StageTag::kModel) return;
+  auto ex = std::static_pointer_cast<ExchangeData>(s.data);
+  if (ex == nullptr) return;
+  const bool from_a = tag.from == s.vehicle_a();
+  const int receiver = from_a ? s.vehicle_b() : s.vehicle_a();
+  const int sender = from_a ? s.vehicle_a() : s.vehicle_b();
+  const nn::SparseModel& sparse = from_a ? ex->model_a : ex->model_b;
+  const std::vector<float> params = sparse.densify();
+  if (params.size() != sim.node(receiver).model.param_count()) return;
+  aggregate(sim, receiver, sender, params, from_a ? ex->comp_a : ex->comp_b);
+}
+
+}  // namespace lbchat::baselines

@@ -1,0 +1,127 @@
+// Little-endian byte (de)serialization used for model/coreset wire formats and
+// for the bench result cache.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lbchat {
+
+/// Append-only byte buffer writer.
+class ByteWriter {
+ public:
+  void write_u8(std::uint8_t v) { buf_.push_back(v); }
+  void write_u32(std::uint32_t v) { write_raw(&v, sizeof v); }
+  void write_u64(std::uint64_t v) { write_raw(&v, sizeof v); }
+  void write_i32(std::int32_t v) { write_raw(&v, sizeof v); }
+  void write_f32(float v) { write_raw(&v, sizeof v); }
+  void write_f64(double v) { write_raw(&v, sizeof v); }
+
+  void write_string(std::string_view s) {
+    write_u32(static_cast<std::uint32_t>(s.size()));
+    write_raw(s.data(), s.size());
+  }
+
+  void write_f32_vec(std::span<const float> v) {
+    write_u32(static_cast<std::uint32_t>(v.size()));
+    write_raw(v.data(), v.size() * sizeof(float));
+  }
+
+  void write_f64_vec(std::span<const double> v) {
+    write_u32(static_cast<std::uint32_t>(v.size()));
+    write_raw(v.data(), v.size() * sizeof(double));
+  }
+
+  void write_u32_vec(std::span<const std::uint32_t> v) {
+    write_u32(static_cast<std::uint32_t>(v.size()));
+    write_raw(v.data(), v.size() * sizeof(std::uint32_t));
+  }
+
+  void write_bytes(std::span<const std::uint8_t> v) {
+    write_u32(static_cast<std::uint32_t>(v.size()));
+    write_raw(v.data(), v.size());
+  }
+
+  [[nodiscard]] const std::vector<std::uint8_t>& bytes() const { return buf_; }
+  [[nodiscard]] std::vector<std::uint8_t> take() { return std::move(buf_); }
+  [[nodiscard]] std::size_t size() const { return buf_.size(); }
+
+ private:
+  void write_raw(const void* p, std::size_t n) {
+    const auto* b = static_cast<const std::uint8_t*>(p);
+    buf_.insert(buf_.end(), b, b + n);
+  }
+
+  std::vector<std::uint8_t> buf_;
+};
+
+/// Sequential reader over a byte span; throws std::out_of_range on underflow.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  std::uint8_t read_u8() { return read_pod<std::uint8_t>(); }
+  std::uint32_t read_u32() { return read_pod<std::uint32_t>(); }
+  std::uint64_t read_u64() { return read_pod<std::uint64_t>(); }
+  std::int32_t read_i32() { return read_pod<std::int32_t>(); }
+  float read_f32() { return read_pod<float>(); }
+  double read_f64() { return read_pod<double>(); }
+
+  std::string read_string() {
+    const auto n = read_u32();
+    check(n);
+    std::string s(reinterpret_cast<const char*>(data_.data() + pos_), n);
+    pos_ += n;
+    return s;
+  }
+
+  std::vector<float> read_f32_vec() { return read_pod_vec<float>(); }
+  std::vector<double> read_f64_vec() { return read_pod_vec<double>(); }
+  std::vector<std::uint32_t> read_u32_vec() { return read_pod_vec<std::uint32_t>(); }
+
+  std::vector<std::uint8_t> read_bytes() {
+    const auto n = read_u32();
+    check(n);
+    std::vector<std::uint8_t> v(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+                                data_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+    pos_ += n;
+    return v;
+  }
+
+  [[nodiscard]] bool exhausted() const { return pos_ == data_.size(); }
+  [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  template <typename T>
+  T read_pod() {
+    check(sizeof(T));
+    T v;
+    std::memcpy(&v, data_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  template <typename T>
+  std::vector<T> read_pod_vec() {
+    const auto n = read_u32();
+    check(static_cast<std::size_t>(n) * sizeof(T));
+    std::vector<T> v(n);
+    std::memcpy(v.data(), data_.data() + pos_, n * sizeof(T));
+    pos_ += n * sizeof(T);
+    return v;
+  }
+
+  void check(std::size_t n) const {
+    if (pos_ + n > data_.size()) throw std::out_of_range{"ByteReader: underflow"};
+  }
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace lbchat

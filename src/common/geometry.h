@@ -1,0 +1,86 @@
+// 2-D geometry primitives used by the driving-world and network simulators.
+#pragma once
+
+#include <cmath>
+#include <compare>
+
+namespace lbchat {
+
+/// A 2-D point / vector in metres (world frame) or in the ego frame.
+struct Vec2 {
+  double x = 0.0;
+  double y = 0.0;
+
+  constexpr Vec2() = default;
+  constexpr Vec2(double x_, double y_) : x(x_), y(y_) {}
+
+  constexpr Vec2 operator+(const Vec2& o) const { return {x + o.x, y + o.y}; }
+  constexpr Vec2 operator-(const Vec2& o) const { return {x - o.x, y - o.y}; }
+  constexpr Vec2 operator*(double s) const { return {x * s, y * s}; }
+  constexpr Vec2 operator/(double s) const { return {x / s, y / s}; }
+  constexpr Vec2& operator+=(const Vec2& o) {
+    x += o.x;
+    y += o.y;
+    return *this;
+  }
+  constexpr Vec2& operator-=(const Vec2& o) {
+    x -= o.x;
+    y -= o.y;
+    return *this;
+  }
+  friend constexpr bool operator==(const Vec2&, const Vec2&) = default;
+
+  [[nodiscard]] double norm() const { return std::hypot(x, y); }
+  [[nodiscard]] constexpr double norm2() const { return x * x + y * y; }
+  [[nodiscard]] constexpr double dot(const Vec2& o) const { return x * o.x + y * o.y; }
+  /// z-component of the 3-D cross product; >0 when `o` is counter-clockwise of *this.
+  [[nodiscard]] constexpr double cross(const Vec2& o) const { return x * o.y - y * o.x; }
+  [[nodiscard]] double heading() const { return std::atan2(y, x); }
+
+  /// Unit vector in the same direction; returns {1,0} for the zero vector.
+  [[nodiscard]] Vec2 normalized() const {
+    const double n = norm();
+    return n > 1e-12 ? Vec2{x / n, y / n} : Vec2{1.0, 0.0};
+  }
+
+  /// Rotate counter-clockwise by `angle` radians.
+  [[nodiscard]] Vec2 rotated(double angle) const {
+    const double c = std::cos(angle);
+    const double s = std::sin(angle);
+    return {c * x - s * y, s * x + c * y};
+  }
+};
+
+inline constexpr Vec2 operator*(double s, const Vec2& v) { return v * s; }
+
+inline double distance(const Vec2& a, const Vec2& b) { return (a - b).norm(); }
+
+/// Normalize an angle into (-pi, pi].
+inline double wrap_angle(double a) {
+  while (a > M_PI) a -= 2.0 * M_PI;
+  while (a <= -M_PI) a += 2.0 * M_PI;
+  return a;
+}
+
+/// Express world point `p` in the frame of an observer at `origin` with heading
+/// `heading` (x forward, y left).
+inline Vec2 to_ego_frame(const Vec2& p, const Vec2& origin, double heading) {
+  return (p - origin).rotated(-heading);
+}
+
+/// Inverse of to_ego_frame.
+inline Vec2 to_world_frame(const Vec2& p, const Vec2& origin, double heading) {
+  return origin + p.rotated(heading);
+}
+
+/// Distance from point `p` to the segment [a, b].
+inline double point_segment_distance(const Vec2& p, const Vec2& a, const Vec2& b) {
+  const Vec2 ab = b - a;
+  const double len2 = ab.norm2();
+  if (len2 < 1e-12) return distance(p, a);
+  double t = (p - a).dot(ab) / len2;
+  t = t < 0.0 ? 0.0 : (t > 1.0 ? 1.0 : t);
+  return distance(p, a + ab * t);
+}
+
+}  // namespace lbchat

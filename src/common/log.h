@@ -1,0 +1,26 @@
+// Minimal leveled logging to stderr. Quiet by default so tests and benches
+// stay readable; raise the level with lbchat::set_log_level or the
+// LBCHAT_LOG env var (error|warn|info|debug).
+#pragma once
+
+#include <cstdio>
+#include <string_view>
+#include <utility>
+
+namespace lbchat {
+
+enum class LogLevel : int { kError = 0, kWarn = 1, kInfo = 2, kDebug = 3 };
+
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+namespace detail {
+void vlog(LogLevel level, const char* fmt, ...) __attribute__((format(printf, 2, 3)));
+}
+
+#define LBCHAT_LOG_ERROR(...) ::lbchat::detail::vlog(::lbchat::LogLevel::kError, __VA_ARGS__)
+#define LBCHAT_LOG_WARN(...) ::lbchat::detail::vlog(::lbchat::LogLevel::kWarn, __VA_ARGS__)
+#define LBCHAT_LOG_INFO(...) ::lbchat::detail::vlog(::lbchat::LogLevel::kInfo, __VA_ARGS__)
+#define LBCHAT_LOG_DEBUG(...) ::lbchat::detail::vlog(::lbchat::LogLevel::kDebug, __VA_ARGS__)
+
+}  // namespace lbchat

@@ -1,0 +1,273 @@
+#include "core/lbchat.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/log.h"
+
+namespace lbchat::core {
+
+using engine::FleetSim;
+using engine::PairSession;
+using engine::StageTag;
+
+/// Per-session protocol scratch, carried in PairSession::data.
+struct LbChatStrategy::ChatData {
+  // Coreset snapshots as transmitted (sender side frozen at queue time).
+  coreset::Coreset coreset_a;
+  coreset::Coreset coreset_b;
+  bool a_received_coreset = false;
+  bool b_received_coreset = false;
+  // Sparse models in flight.
+  nn::SparseModel model_a;  // x_a compressed at psi_a
+  nn::SparseModel model_b;
+  double contact_estimate_s = 0.0;
+};
+
+namespace {
+constexpr int kPhaseCoresets = 0;
+constexpr int kPhaseModels = 1;
+}  // namespace
+
+LbChatStrategy::LbChatStrategy(LbChatOptions opts) : opts_(opts) {}
+
+std::string_view LbChatStrategy::name() const {
+  if (!opts_.share_model) return "SCO";
+  if (!opts_.adaptive_compression) return "LbChat(equal-comp)";
+  if (!opts_.coreset_weighted_aggregation) return "LbChat(avg-agg)";
+  return "LbChat";
+}
+
+const coreset::Coreset& LbChatStrategy::coreset_of(int v) const {
+  return vehicles_.at(static_cast<std::size_t>(v)).cs;
+}
+
+void LbChatStrategy::setup(FleetSim& sim) {
+  vehicles_.clear();
+  vehicles_.resize(static_cast<std::size_t>(sim.num_vehicles()));
+  for (int v = 0; v < sim.num_vehicles(); ++v) maybe_rebuild_coreset(sim, v, /*force=*/true);
+}
+
+void LbChatStrategy::maybe_rebuild_coreset(FleetSim& sim, int v, bool force) {
+  VehicleState& st = vehicles_[static_cast<std::size_t>(v)];
+  if (!force &&
+      sim.time() - st.last_rebuild_s < sim.config().coreset_rebuild_interval_s) {
+    return;
+  }
+  auto& node = sim.node(v);
+  coreset::CoresetConfig ccfg;
+  ccfg.target_size = sim.config().coreset_size;
+  ccfg.penalty = sim.config().penalty;
+  st.cs = coreset::build_coreset(opts_.coreset_method, node.dataset, node.model, ccfg,
+                                 node.rng);
+  st.last_rebuild_s = sim.time();
+}
+
+void LbChatStrategy::on_tick(FleetSim& sim) {
+  // Periodic full coreset rebuilds (between rebuilds the merge-reduce fast
+  // path keeps the coreset fresh after each absorption).
+  for (int v = 0; v < sim.num_vehicles(); ++v) maybe_rebuild_coreset(sim, v, false);
+
+  // Encounter initiation: each idle vehicle picks the in-range idle peer
+  // with the highest priority score c_ij (Eq. (5)).
+  const auto& cfg = sim.config();
+  // T_need: a full chat = both coresets + both (uncompressed) models.
+  const double needed_s =
+      8.0 *
+      static_cast<double>(2 * cfg.wire.coreset_bytes(cfg.coreset_size) + 2 * cfg.wire.model_bytes) /
+      cfg.radio.bandwidth_bps;
+  for (int a = 0; a < sim.num_vehicles(); ++a) {
+    if (!sim.is_idle(a)) continue;
+    int best = -1;
+    double best_score = 0.0;
+    net::ContactEstimate best_contact;
+    for (int b = 0; b < sim.num_vehicles(); ++b) {
+      if (b == a || !sim.is_idle(b)) continue;
+      if (!sim.in_range(a, b) || !sim.cooldown_passed(a, b)) continue;
+      const net::ContactEstimate contact = sim.estimate_contact_between(a, b);
+      const double score =
+          net::priority_score(sim.assist_info(a), sim.assist_info(b), contact, needed_s);
+      if (score > best_score) {
+        best_score = score;
+        best = b;
+        best_contact = contact;
+      }
+    }
+    if (best >= 0) {
+      PairSession& s = sim.start_session(a, best);
+      auto chat = std::make_shared<ChatData>();
+      chat->contact_estimate_s = best_contact.duration_s;
+      // Snapshot both coresets as they leave the senders.
+      chat->coreset_a = vehicles_[static_cast<std::size_t>(a)].cs;
+      chat->coreset_b = vehicles_[static_cast<std::size_t>(best)].cs;
+      s.data = chat;
+      s.phase = kPhaseCoresets;
+      const auto& wire = cfg.wire;
+      // Assist info both ways, then coresets both ways.
+      sim.queue_transfer(s, a, wire.assist_info_bytes, {StageTag::kAssist, a, 0});
+      sim.queue_transfer(s, best, wire.assist_info_bytes, {StageTag::kAssist, best, 0});
+      sim.queue_transfer(s, a, wire.coreset_bytes(chat->coreset_a.size()),
+                         {StageTag::kCoreset, a, 0});
+      sim.queue_transfer(s, best, wire.coreset_bytes(chat->coreset_b.size()),
+                         {StageTag::kCoreset, best, 0});
+    }
+  }
+}
+
+void LbChatStrategy::on_transfer_complete(FleetSim& sim, PairSession& s, const StageTag& tag) {
+  auto chat = std::static_pointer_cast<ChatData>(s.data);
+  if (chat == nullptr) return;
+  if (tag.kind == StageTag::kCoreset) {
+    // Receiver absorbs the peer coreset into its local dataset (§III-D) and
+    // refreshes its own coreset by merge + reduce.
+    const bool from_a = tag.from == s.vehicle_a();
+    const int receiver = from_a ? s.vehicle_b() : s.vehicle_a();
+    const coreset::Coreset& received = from_a ? chat->coreset_a : chat->coreset_b;
+    if (from_a) {
+      chat->b_received_coreset = true;
+    } else {
+      chat->a_received_coreset = true;
+    }
+    auto& node = sim.node(receiver);
+    node.dataset.absorb(received.samples);
+    VehicleState& st = vehicles_[static_cast<std::size_t>(receiver)];
+    st.cs = coreset::reduce_coreset(coreset::merge_coresets(st.cs, received), node.model,
+                                    sim.config().coreset_size, node.rng);
+  } else if (tag.kind == StageTag::kModel) {
+    const bool from_a = tag.from == s.vehicle_a();
+    const int receiver = from_a ? s.vehicle_b() : s.vehicle_a();
+    const nn::SparseModel& sparse = from_a ? chat->model_a : chat->model_b;
+    // Aggregate against the *sender's* coreset (the freshest estimate of the
+    // sender's data distribution), merged into the receiver's own.
+    aggregate_received(sim, receiver, sparse, from_a ? chat->coreset_a : chat->coreset_b);
+  }
+}
+
+void LbChatStrategy::on_session_idle(FleetSim& sim, PairSession& s) {
+  if (s.phase == kPhaseCoresets) {
+    auto chat = std::static_pointer_cast<ChatData>(s.data);
+    if (chat == nullptr || !chat->a_received_coreset || !chat->b_received_coreset ||
+        !opts_.share_model) {
+      s.close();
+      return;
+    }
+    begin_model_phase(sim, s);
+  } else {
+    s.close();
+  }
+}
+
+void LbChatStrategy::begin_model_phase(FleetSim& sim, PairSession& s) {
+  auto chat = std::static_pointer_cast<ChatData>(s.data);
+  const auto& cfg = sim.config();
+  const int a = s.vehicle_a();
+  const int b = s.vehicle_b();
+  auto& node_a = sim.node(a);
+  auto& node_b = sim.node(b);
+
+  double psi_a = 0.0;
+  double psi_b = 0.0;
+  // Re-estimate the contact with fresh positions (the coreset exchange took
+  // a few seconds) — LbChat's route sharing makes this estimate reliable.
+  const net::ContactEstimate contact = sim.estimate_contact_between(a, b);
+  const double contact_left = contact.duration_s;
+
+  if (opts_.adaptive_compression) {
+    // Evaluate both models on both coresets, build the phi mappings, and
+    // solve Eq. (7). (Compute time is not charged, matching the paper.)
+    const coreset::Coreset ca = subsample_coreset(chat->coreset_a, opts_.eval_cap);
+    const coreset::Coreset cb = subsample_coreset(chat->coreset_b, opts_.eval_cap);
+    CompressionProblem prob;
+    prob.loss_i_on_cj = normalized_coreset_loss(node_a.model, cb, cfg.penalty);
+    prob.loss_j_on_ci = normalized_coreset_loss(node_b.model, ca, cfg.penalty);
+    prob.phi_i = PhiMapping::build(node_a.model, ca, cfg.penalty, PhiMapping::kDefaultPsis,
+                                   opts_.eval_cap);
+    prob.phi_j = PhiMapping::build(node_b.model, cb, cfg.penalty, PhiMapping::kDefaultPsis,
+                                   opts_.eval_cap);
+    prob.model_bytes = static_cast<double>(cfg.wire.model_bytes);
+    // Loss-aware sizing: budget transfer time against the *expected goodput*
+    // along the predicted trajectory (with a small safety margin), not the
+    // raw bandwidth — this is what keeps LbChat's receiving rate high under
+    // wireless loss while the blind baselines overrun their windows.
+    prob.bandwidth_bps =
+        cfg.radio.bandwidth_bps * std::max(contact.mean_goodput, 0.05) * 0.9;
+    prob.time_budget_s = cfg.time_budget_s;
+    prob.contact_s = contact_left;
+    prob.lambda_c = cfg.lambda_c;
+    const CompressionDecision d = optimize_compression(prob);
+    psi_a = d.psi_i;
+    psi_b = d.psi_j;
+    LBCHAT_LOG_DEBUG(
+        "chat %d<->%d: f(a;Cb)=%.4f f(b;Ca)=%.4f phi_a(1)=%.4f phi_b(1)=%.4f -> "
+        "psi=(%.2f,%.2f) gains=(%.4f,%.4f) Tc=%.1fs window=%.1fs",
+        a, b, prob.loss_i_on_cj, prob.loss_j_on_ci, prob.phi_i.sample_losses().back(),
+        prob.phi_j.sample_losses().back(), psi_a, psi_b, d.gain_to_j, d.gain_to_i,
+        d.exchange_time_s, std::min(cfg.time_budget_s, contact_left));
+    s.deadline_s = sim.time() + std::min(cfg.time_budget_s, contact_left) + 2.0;
+  } else {
+    s.deadline_s =
+        sim.time() + std::min(cfg.time_budget_s, std::max(contact_left, cfg.tick_s));
+    // Table V ablation: equal compression ratios, blindly sized so both
+    // directions fit the available window.
+    const double window = std::min(cfg.time_budget_s, contact_left);
+    const double full_time =
+        2.0 * static_cast<double>(cfg.wire.model_bytes) * 8.0 / cfg.radio.bandwidth_bps;
+    const double psi = full_time > 0.0 ? std::clamp(window / full_time, 0.0, 1.0) : 0.0;
+    psi_a = psi;
+    psi_b = psi;
+  }
+
+  if (psi_a <= 0.0 && psi_b <= 0.0) {
+    s.close();
+    return;
+  }
+  s.phase = kPhaseModels;
+  if (psi_a > 0.0) {
+    chat->model_a = nn::compress_for_psi(node_a.model.params(), psi_a);
+    sim.queue_transfer(s, a, cfg.wire.model_bytes_at(psi_a), {StageTag::kModel, a, 0});
+  }
+  if (psi_b > 0.0) {
+    chat->model_b = nn::compress_for_psi(node_b.model.params(), psi_b);
+    sim.queue_transfer(s, b, cfg.wire.model_bytes_at(psi_b), {StageTag::kModel, b, 0});
+  }
+}
+
+void LbChatStrategy::aggregate_received(FleetSim& sim, int receiver,
+                                        const nn::SparseModel& sparse,
+                                        const coreset::Coreset& peer_coreset) {
+  auto& node = sim.node(receiver);
+  const std::vector<float> peer_params = sparse.densify();
+  if (peer_params.size() != node.model.param_count()) return;
+
+  double w_self = 0.5;
+  double w_peer = 0.5;
+  if (opts_.coreset_weighted_aggregation) {
+    // Eq. (8) on D_i union C_j, approximated by the coreset fast path
+    // f(x; C_i union C_j) (§III-D). Cross-weighted: the better-performing
+    // model (lower loss) receives the larger weight.
+    const coreset::Coreset joint = subsample_coreset(
+        coreset::merge_coresets(vehicles_[static_cast<std::size_t>(receiver)].cs, peer_coreset),
+        2 * opts_.eval_cap);
+    const double loss_self = normalized_coreset_loss(node.model, joint, sim.config().penalty);
+    nn::DrivingPolicy peer_model{node.model.config(), /*init_seed=*/0};
+    peer_model.set_params(peer_params);
+    const double loss_peer = normalized_coreset_loss(peer_model, joint, sim.config().penalty);
+    // The logical end of "larger weights to better-performing models": a
+    // received model that is clearly worse than the local one (e.g. damaged
+    // by compression beyond what the phi mapping predicted) is not merged at
+    // all — the coreset evaluation is what detects this.
+    if (loss_peer > 2.0 * loss_self) return;
+    const double denom = loss_self + loss_peer;
+    if (denom > 1e-12) {
+      w_self = loss_peer / denom;
+      w_peer = loss_self / denom;
+    }
+  }
+  auto params = node.model.params();
+  for (std::size_t k = 0; k < params.size(); ++k) {
+    params[k] = static_cast<float>(w_self * params[k] + w_peer * peer_params[k]);
+  }
+}
+
+}  // namespace lbchat::core

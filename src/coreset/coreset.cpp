@@ -1,0 +1,276 @@
+#include "coreset/coreset.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "common/stats.h"
+
+namespace lbchat::coreset {
+
+using data::Sample;
+using data::WeightedDataset;
+
+double command_balance_penalty(const nn::DrivingPolicy& model,
+                               std::span<const Sample> samples,
+                               std::span<const double> weights) {
+  if (samples.empty()) return 0.0;
+  if (!weights.empty() && weights.size() != samples.size()) {
+    throw std::invalid_argument{"command_balance_penalty: weights size mismatch"};
+  }
+  std::array<double, data::kNumCommands> loss_mass{};
+  std::array<double, data::kNumCommands> weight_mass{};
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    const double w = weights.empty() ? samples[i].weight : weights[i];
+    if (w <= 0.0) continue;
+    const auto c = static_cast<std::size_t>(samples[i].command);
+    loss_mass[c] += w * model.sample_loss(samples[i]);
+    weight_mass[c] += w;
+  }
+  // Mean loss per command, over commands actually present.
+  std::vector<double> per_command;
+  per_command.reserve(data::kNumCommands);
+  for (std::size_t c = 0; c < data::kNumCommands; ++c) {
+    if (weight_mass[c] > 0.0) per_command.push_back(loss_mass[c] / weight_mass[c]);
+  }
+  if (per_command.size() < 2) return 0.0;
+  double total = 0.0;
+  for (const double v : per_command) total += v;
+  // All commands at (near-)zero loss is the perfectly balanced state.
+  if (total < 1e-12) return 0.0;
+  const double max_h = std::log(static_cast<double>(per_command.size()));
+  return max_h - entropy(per_command);
+}
+
+double penalized_loss(const nn::DrivingPolicy& model, std::span<const Sample> samples,
+                      std::span<const double> weights, const PenaltyConfig& penalty) {
+  if (!weights.empty() && weights.size() != samples.size()) {
+    throw std::invalid_argument{"penalized_loss: weights size mismatch"};
+  }
+  double empirical = 0.0;
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    const double w = weights.empty() ? samples[i].weight : weights[i];
+    if (w <= 0.0) continue;
+    empirical += w * model.sample_loss(samples[i]);
+  }
+  return empirical + penalty.lambda1 * nn::param_l2_norm(model.params()) +
+         penalty.lambda2 * command_balance_penalty(model, samples, weights);
+}
+
+double Coreset::total_weight() const {
+  double s = 0.0;
+  for (const double w : wc) s += w;
+  return s;
+}
+
+std::size_t Coreset::logical_bytes() const {
+  // Packed frame + 4-byte float w_C per sample, plus a small header.
+  return 16 + samples.size() * (data::packed_sample_bytes(spec) + 4);
+}
+
+LayerPartition partition_into_layers(const nn::DrivingPolicy& model,
+                                     const WeightedDataset& dataset) {
+  if (dataset.empty()) throw std::invalid_argument{"partition_into_layers: empty dataset"};
+  LayerPartition part;
+  const std::size_t n = dataset.size();
+
+  // Per-sample losses; the center d~ is the smallest-loss sample (line 1).
+  std::vector<double> losses(n);
+  double weighted_sum = 0.0;
+  double min_loss = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < n; ++i) {
+    losses[i] = model.sample_loss(dataset[i]);
+    weighted_sum += dataset[i].weight * losses[i];
+    min_loss = std::min(min_loss, losses[i]);
+  }
+  part.center_loss = min_loss;
+  // Line 2: R = f(x; D) / |D| — the weighted-sum loss divided by the size.
+  part.ring_radius = std::max(weighted_sum / static_cast<double>(n), 1e-9);
+
+  // Lines 3-6: ring index by loss distance from the center; at most
+  // ceil(log2(|D| + 1)) layers beyond layer 0 (outliers clamp to the last).
+  const int max_layer =
+      static_cast<int>(std::ceil(std::log2(static_cast<double>(n) + 1.0)));
+  part.layer_of.resize(n);
+  int top = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double dist = losses[i] - part.center_loss;
+    int layer = 0;
+    if (dist > part.ring_radius) {
+      layer = std::min(static_cast<int>(std::floor(std::log2(dist / part.ring_radius))) + 1,
+                       max_layer);
+    }
+    part.layer_of[i] = layer;
+    top = std::max(top, layer);
+  }
+  part.num_layers = top + 1;
+  return part;
+}
+
+namespace {
+
+/// Shared core of Algorithm 1 lines 7-15, parameterized over an abstract
+/// weighted sample view so both build (from a dataset) and reduce (from a
+/// coreset) reuse it.
+Coreset layered_sample(std::span<const Sample> samples, std::span<const double> weights,
+                       std::span<const int> layer_of, int num_layers, std::size_t target,
+                       const data::BevSpec& spec, Rng& rng) {
+  Coreset out;
+  out.spec = spec;
+  if (samples.empty() || target == 0) return out;
+  if (target >= samples.size()) {
+    // Degenerate: the whole set is its own coreset with w_C = w.
+    out.samples.assign(samples.begin(), samples.end());
+    out.wc.assign(weights.begin(), weights.end());
+    return out;
+  }
+
+  // Group indices per layer and compute layer weight masses.
+  std::vector<std::vector<std::size_t>> layers(static_cast<std::size_t>(num_layers));
+  std::vector<double> layer_mass(static_cast<std::size_t>(num_layers), 0.0);
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    const auto l = static_cast<std::size_t>(layer_of[i]);
+    layers[l].push_back(i);
+    layer_mass[l] += std::max(weights[i], 0.0);
+  }
+  double total_mass = 0.0;
+  for (const double m : layer_mass) total_mass += m;
+  if (total_mass <= 0.0) total_mass = 1.0;
+
+  // Per-layer budgets: proportional to mass, at least 1 for non-empty layers,
+  // then trimmed/topped-up to hit the target exactly.
+  std::vector<std::size_t> budget(layers.size(), 0);
+  std::size_t assigned = 0;
+  for (std::size_t l = 0; l < layers.size(); ++l) {
+    if (layers[l].empty()) continue;
+    const auto want = static_cast<std::size_t>(
+        std::round(static_cast<double>(target) * layer_mass[l] / total_mass));
+    budget[l] = std::clamp<std::size_t>(want, 1, layers[l].size());
+    assigned += budget[l];
+  }
+  // Top up (largest remaining capacity first) or trim (smallest layers first).
+  while (assigned < target) {
+    std::size_t best = layers.size();
+    std::size_t best_room = 0;
+    for (std::size_t l = 0; l < layers.size(); ++l) {
+      const std::size_t room = layers[l].size() - budget[l];
+      if (room > best_room) {
+        best_room = room;
+        best = l;
+      }
+    }
+    if (best == layers.size()) break;  // every sample selected
+    ++budget[best];
+    ++assigned;
+  }
+  while (assigned > target) {
+    std::size_t best = layers.size();
+    for (std::size_t l = 0; l < layers.size(); ++l) {
+      if (budget[l] > 1 && (best == layers.size() || budget[l] > budget[best])) best = l;
+    }
+    if (best != layers.size()) {
+      --budget[best];
+      --assigned;
+      continue;
+    }
+    // Every remaining budget is 1 but the target is smaller than the number
+    // of non-empty layers: drop the lightest layers entirely.
+    std::size_t lightest = layers.size();
+    for (std::size_t l = 0; l < layers.size(); ++l) {
+      if (budget[l] == 1 && (lightest == layers.size() || layer_mass[l] < layer_mass[lightest])) {
+        lightest = l;
+      }
+    }
+    if (lightest == layers.size()) break;
+    budget[lightest] = 0;
+    --assigned;
+  }
+
+  // Lines 8-14: per-layer weighted sampling without replacement and w_C
+  // assignment preserving each layer's weight mass.
+  for (std::size_t l = 0; l < layers.size(); ++l) {
+    if (layers[l].empty() || budget[l] == 0) continue;
+    std::vector<double> w_layer;
+    w_layer.reserve(layers[l].size());
+    for (const std::size_t i : layers[l]) w_layer.push_back(std::max(weights[i], 0.0));
+    std::vector<std::size_t> picked = rng.weighted_sample_without_replacement(w_layer, budget[l]);
+    if (picked.empty()) {
+      // All-zero weights in this layer: fall back to uniform choice.
+      picked.push_back(rng.uniform_index(layers[l].size()));
+    }
+    double selected_mass = 0.0;
+    for (const std::size_t p : picked) selected_mass += w_layer[p];
+    const double mass = layer_mass[l] > 0.0 ? layer_mass[l]
+                                            : static_cast<double>(layers[l].size());
+    for (const std::size_t p : picked) {
+      const std::size_t i = layers[l][p];
+      out.samples.push_back(samples[i]);
+      const double w = selected_mass > 0.0 ? weights[i] * mass / selected_mass
+                                           : mass / static_cast<double>(picked.size());
+      out.wc.push_back(w);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Coreset build_layered_coreset(const WeightedDataset& dataset, const nn::DrivingPolicy& model,
+                              const CoresetConfig& cfg, Rng& rng) {
+  if (dataset.empty()) return Coreset{dataset.spec(), {}, {}};
+  const LayerPartition part = partition_into_layers(model, dataset);
+  std::vector<double> weights(dataset.size());
+  for (std::size_t i = 0; i < dataset.size(); ++i) weights[i] = dataset[i].weight;
+  return layered_sample(dataset.samples(), weights, part.layer_of, part.num_layers,
+                        cfg.target_size, dataset.spec(), rng);
+}
+
+double evaluate_on_coreset(const nn::DrivingPolicy& model, const Coreset& c,
+                           const PenaltyConfig& penalty) {
+  return penalized_loss(model, c.samples, c.wc, penalty);
+}
+
+Coreset merge_coresets(const Coreset& a, const Coreset& b) {
+  if (!a.empty() && !b.empty() && !(a.spec == b.spec)) {
+    throw std::invalid_argument{"merge_coresets: BEV spec mismatch"};
+  }
+  Coreset out;
+  out.spec = a.empty() ? b.spec : a.spec;
+  out.samples = a.samples;
+  out.wc = a.wc;
+  out.samples.insert(out.samples.end(), b.samples.begin(), b.samples.end());
+  out.wc.insert(out.wc.end(), b.wc.begin(), b.wc.end());
+  return out;
+}
+
+Coreset reduce_coreset(const Coreset& c, const nn::DrivingPolicy& model, std::size_t target,
+                       Rng& rng) {
+  if (c.size() <= target) return c;
+  // Re-run the layer partition over the coreset itself, with w_C as weights.
+  const std::size_t n = c.size();
+  std::vector<double> losses(n);
+  double weighted_sum = 0.0;
+  double min_loss = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < n; ++i) {
+    losses[i] = model.sample_loss(c.samples[i]);
+    weighted_sum += std::max(c.wc[i], 0.0) * losses[i];
+    min_loss = std::min(min_loss, losses[i]);
+  }
+  const double radius = std::max(weighted_sum / static_cast<double>(n), 1e-9);
+  const int max_layer = static_cast<int>(std::ceil(std::log2(static_cast<double>(n) + 1.0)));
+  std::vector<int> layer_of(n);
+  int top = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double dist = losses[i] - min_loss;
+    int layer = 0;
+    if (dist > radius) {
+      layer = std::min(static_cast<int>(std::floor(std::log2(dist / radius))) + 1, max_layer);
+    }
+    layer_of[i] = layer;
+    top = std::max(top, layer);
+  }
+  return layered_sample(c.samples, c.wc, layer_of, top + 1, target, c.spec, rng);
+}
+
+}  // namespace lbchat::coreset

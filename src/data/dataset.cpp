@@ -1,0 +1,53 @@
+#include "data/dataset.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace lbchat::data {
+
+void WeightedDataset::add(Sample s) {
+  if (s.weight < 0.0) throw std::invalid_argument{"WeightedDataset::add: negative weight"};
+  ids_.insert(s.id);
+  total_weight_ += s.weight;
+  cumulative_weight_.push_back(total_weight_);
+  samples_.push_back(std::move(s));
+}
+
+std::size_t WeightedDataset::absorb(std::span<const Sample> samples, double absorbed_weight) {
+  std::size_t added = 0;
+  for (const Sample& s : samples) {
+    if (ids_.count(s.id) > 0) continue;
+    Sample copy = s;
+    if (absorbed_weight >= 0.0) copy.weight = absorbed_weight;
+    add(std::move(copy));
+    ++added;
+  }
+  return added;
+}
+
+std::vector<std::size_t> WeightedDataset::sample_batch(Rng& rng, std::size_t batch) const {
+  if (samples_.empty()) throw std::logic_error{"WeightedDataset::sample_batch: empty dataset"};
+  std::vector<std::size_t> out;
+  out.reserve(batch);
+  if (total_weight_ <= 0.0) {
+    // All-zero weights degenerate to uniform sampling.
+    for (std::size_t b = 0; b < batch; ++b) out.push_back(rng.uniform_index(samples_.size()));
+    return out;
+  }
+  for (std::size_t b = 0; b < batch; ++b) {
+    const double u = rng.uniform(0.0, total_weight_);
+    const auto it = std::upper_bound(cumulative_weight_.begin(), cumulative_weight_.end(), u);
+    auto idx = static_cast<std::size_t>(std::distance(cumulative_weight_.begin(), it));
+    if (idx >= samples_.size()) idx = samples_.size() - 1;
+    out.push_back(idx);
+  }
+  return out;
+}
+
+std::array<std::size_t, kNumCommands> WeightedDataset::command_histogram() const {
+  std::array<std::size_t, kNumCommands> h{};
+  for (const Sample& s : samples_) ++h[static_cast<std::size_t>(s.command)];
+  return h;
+}
+
+}  // namespace lbchat::data

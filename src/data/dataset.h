@@ -1,0 +1,61 @@
+// Weighted dataset store (paper §II-A): each vehicle holds a local dataset of
+// weighted samples that expands over time by absorbing received coresets.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <unordered_set>
+#include <vector>
+
+#include "common/rng.h"
+#include "data/frame.h"
+
+namespace lbchat::data {
+
+/// A vehicle's local dataset D_i. Samples carry their original weights w(d);
+/// the dataset supports weighted minibatch sampling for SGD and merging in
+/// received coresets (whose in-coreset weights w_C(d) are dropped on
+/// absorption — the paper keeps "the original weights w(d) of all data samples
+/// in the expanded local dataset ... the same", §III-D).
+class WeightedDataset {
+ public:
+  WeightedDataset() = default;
+  explicit WeightedDataset(BevSpec spec) : spec_(spec) {}
+
+  void add(Sample s);
+  /// Absorb samples (e.g. a received coreset). Samples whose id is already
+  /// present are skipped so repeated encounters do not duplicate data. A
+  /// non-negative `absorbed_weight` overrides the incoming weights; the
+  /// default keeps each sample's original w(d) (carried inside the coreset),
+  /// so command balance survives absorption.
+  /// Returns the number of samples actually added.
+  std::size_t absorb(std::span<const Sample> samples, double absorbed_weight = -1.0);
+
+  [[nodiscard]] std::size_t size() const { return samples_.size(); }
+  [[nodiscard]] bool empty() const { return samples_.empty(); }
+  [[nodiscard]] const Sample& operator[](std::size_t i) const { return samples_[i]; }
+  [[nodiscard]] const std::vector<Sample>& samples() const { return samples_; }
+  [[nodiscard]] const BevSpec& spec() const { return spec_; }
+
+  [[nodiscard]] double total_weight() const { return total_weight_; }
+
+  /// w(d)-weighted minibatch sampling with replacement; returns indices.
+  [[nodiscard]] std::vector<std::size_t> sample_batch(Rng& rng, std::size_t batch) const;
+
+  /// Per-command sample counts (diagnostics + heterogeneity measurements).
+  [[nodiscard]] std::array<std::size_t, kNumCommands> command_histogram() const;
+
+  [[nodiscard]] bool contains(std::uint64_t id) const { return ids_.count(id) > 0; }
+
+ private:
+  BevSpec spec_ = kDefaultBevSpec;
+  std::vector<Sample> samples_;
+  std::vector<double> cumulative_weight_;  // prefix sums for O(log n) sampling
+  double total_weight_ = 0.0;
+  // Set of sample ids for dedup; a sorted vector would also do but the
+  // dataset mutates often during encounters.
+  std::unordered_set<std::uint64_t> ids_;
+};
+
+}  // namespace lbchat::data

@@ -1,0 +1,92 @@
+// Data types for the BEV-based driving decision-making task (paper §IV-A).
+//
+// Each frame a vehicle collects contains the current bird-eye-view (BEV) of
+// its surroundings, the next high-level navigation command, and the next few
+// waypoints the expert planned — exactly the tuple the paper's imitation
+// learning model ([19]) trains on, at miniature scale.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace lbchat::data {
+
+/// High-level navigation command from the route planner (as in CARLA's
+/// conditional imitation learning benchmarks).
+enum class Command : std::uint8_t {
+  kFollow = 0,    ///< follow the lane
+  kLeft = 1,      ///< turn left at the next intersection
+  kRight = 2,     ///< turn right at the next intersection
+  kStraight = 3,  ///< go straight through the next intersection
+};
+
+inline constexpr int kNumCommands = 4;
+
+/// BEV channel layout. The BEV is a sparse binary tensor depicting the front
+/// view of the vehicle top-down (paper §IV-A); our miniature version keeps the
+/// same structure with four channels.
+enum class BevChannel : int {
+  kRoad = 0,         ///< drivable surface
+  kVehicles = 1,     ///< other cars (background traffic + peers)
+  kPedestrians = 2,  ///< pedestrians
+  kRoute = 3,        ///< the vehicle's own planned route ahead
+};
+
+/// Geometry of the BEV raster. The ego vehicle sits at the bottom-centre
+/// looking "up" (+x forward maps to -row).
+struct BevSpec {
+  int channels = 4;
+  int height = 16;
+  int width = 16;
+  double cell_m = 2.0;  ///< metres per cell
+
+  [[nodiscard]] constexpr int numel() const { return channels * height * width; }
+  friend constexpr bool operator==(const BevSpec&, const BevSpec&) = default;
+};
+
+inline constexpr BevSpec kDefaultBevSpec{};
+
+/// Binary occupancy raster, row-major [channel][row][col]; one byte per cell
+/// in memory (the wire format packs to bits, see data::packed_bev_bytes).
+struct BevGrid {
+  std::vector<std::uint8_t> cells;  // 0 or 1, size = spec.numel()
+
+  BevGrid() = default;
+  explicit BevGrid(const BevSpec& spec) : cells(static_cast<std::size_t>(spec.numel()), 0) {}
+
+  [[nodiscard]] std::uint8_t at(const BevSpec& spec, int c, int r, int col) const {
+    return cells[static_cast<std::size_t>((c * spec.height + r) * spec.width + col)];
+  }
+  void set(const BevSpec& spec, int c, int r, int col, std::uint8_t v = 1) {
+    cells[static_cast<std::size_t>((c * spec.height + r) * spec.width + col)] = v;
+  }
+};
+
+/// Number of future waypoints the model predicts.
+inline constexpr int kNumWaypoints = 4;
+/// Scale (metres) that normalizes ego-frame waypoint coordinates to ~[-1, 1].
+inline constexpr double kWaypointScale = 20.0;
+
+/// One training frame: (BEV, command) -> waypoints, plus bookkeeping.
+struct Sample {
+  BevGrid bev;
+  Command command = Command::kFollow;
+  /// Normalized ego-frame waypoints, interleaved (x0, y0, x1, y1, ...).
+  std::array<float, 2 * kNumWaypoints> waypoints{};
+  /// Original weight w(d) of the sample (paper Eq. (2)).
+  double weight = 1.0;
+  /// Globally unique sample id (vehicle id in the high bits, counter in low).
+  std::uint64_t id = 0;
+  /// Vehicle that collected the frame (provenance; used by DFL-DDS diversity).
+  std::uint32_t source_vehicle = 0;
+};
+
+/// Logical wire size of one frame with simple lossless packing: BEV packed to
+/// bits + command byte + float waypoints + weight. The network layer rescales
+/// this to paper-scale sizes via net::WireSizeModel.
+[[nodiscard]] constexpr std::size_t packed_sample_bytes(const BevSpec& spec) {
+  return static_cast<std::size_t>((spec.numel() + 7) / 8) + 1 + 2 * kNumWaypoints * 4 + 8;
+}
+
+}  // namespace lbchat::data

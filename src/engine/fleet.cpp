@@ -1,0 +1,304 @@
+#include "engine/fleet.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/log.h"
+
+namespace lbchat::engine {
+
+namespace {
+
+std::uint64_t pair_key(int a, int b) {
+  if (a > b) std::swap(a, b);
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(a)) << 32) |
+         static_cast<std::uint32_t>(b);
+}
+
+net::WirelessLossModel zero_loss() {
+  return net::WirelessLossModel{{0.0, 1e9}, {0.0, 0.0}};
+}
+
+}  // namespace
+
+void Strategy::local_train(FleetSim& sim, int v) { sim.default_local_train(v); }
+
+FleetSim::FleetSim(const ScenarioConfig& cfg, std::unique_ptr<Strategy> strategy)
+    : cfg_(cfg),
+      loss_(net::WirelessLossModel::default_table(cfg.radio.max_range_m)),
+      no_loss_(zero_loss()),
+      world_(cfg.world, cfg.num_vehicles, cfg.seed),
+      strategy_(std::move(strategy)),
+      strategy_rng_(Rng{cfg.seed}.fork("strategy")),
+      net_rng_(Rng{cfg.seed}.fork("net")),
+      infra_rng_(Rng{cfg.seed}.fork("infra")) {
+  if (strategy_ == nullptr) throw std::invalid_argument{"FleetSim: null strategy"};
+  nodes_.reserve(static_cast<std::size_t>(cfg.num_vehicles));
+  for (int v = 0; v < cfg.num_vehicles; ++v) {
+    // Identical model initialization across vehicles (paper §II-A assumes
+    // the same initialization), but per-vehicle RNG streams for sampling.
+    auto node = std::make_unique<VehicleNode>(
+        v, cfg.policy, cfg.seed ^ 0xA11CEull,
+        Rng{cfg.seed}.fork(hash_name("vehicle") + static_cast<std::uint64_t>(v)));
+    node->opt = std::make_unique<nn::Adam>(cfg.learning_rate);
+    node->dataset = data::WeightedDataset{cfg.policy.bev};
+    nodes_.push_back(std::move(node));
+  }
+  busy_.assign(static_cast<std::size_t>(cfg.num_vehicles), nullptr);
+}
+
+FleetSim::~FleetSim() = default;
+
+void FleetSim::collect_phase() {
+  // Vehicles drive for collect_duration_s, grabbing one frame per 1/fps of
+  // simulated time (paper: 2 fps for one hour; scaled). Frames are then split
+  // per vehicle into (shared eval) / (local validation) / (local dataset).
+  const double frame_dt = 1.0 / cfg_.collect_fps;
+  const int frames = static_cast<int>(cfg_.collect_duration_s * cfg_.collect_fps);
+  std::vector<std::vector<data::Sample>> collected(
+      static_cast<std::size_t>(cfg_.num_vehicles));
+  for (int f = 0; f < frames; ++f) {
+    world_.step(frame_dt);
+    for (int v = 0; v < cfg_.num_vehicles; ++v) {
+      const std::uint64_t id =
+          (static_cast<std::uint64_t>(v) << 32) | static_cast<std::uint32_t>(f);
+      collected[static_cast<std::size_t>(v)].push_back(world_.collect_sample(v, id));
+    }
+  }
+  for (int v = 0; v < cfg_.num_vehicles; ++v) {
+    auto& frames_v = collected[static_cast<std::size_t>(v)];
+    const std::size_t n = frames_v.size();
+    if (n == 0) throw std::logic_error{"collect_phase: no frames collected"};
+    const std::size_t eval_n =
+        std::min<std::size_t>(static_cast<std::size_t>(cfg_.eval_frames_per_vehicle), n);
+    const std::size_t eval_stride = std::max<std::size_t>(n / std::max<std::size_t>(eval_n, 1), 1);
+    std::vector<char> taken(n, 0);
+    for (std::size_t k = 0; k < eval_n; ++k) {
+      const std::size_t idx = std::min(k * eval_stride, n - 1);
+      if (taken[idx] != 0) continue;
+      taken[idx] = 1;
+      eval_set_.push_back(frames_v[idx]);
+    }
+    auto& node = *nodes_[static_cast<std::size_t>(v)];
+    const auto valid_every = static_cast<std::size_t>(
+        cfg_.validation_fraction > 0.0 ? std::llround(1.0 / cfg_.validation_fraction) : 0);
+    // Original sample weights w(d): inverse per-command frequency, so rare
+    // commands (turns) are not drowned out by lane-following frames. This is
+    // the command-balance goal of the paper's sigma(x) penalty (Eq. (6))
+    // carried into the weighted dataset: weighted batch sampling and the
+    // w(d)-weighted layered sampling of Algorithm 1 both see balanced
+    // commands.
+    std::array<std::size_t, data::kNumCommands> counts{};
+    for (const auto& s : frames_v) ++counts[static_cast<std::size_t>(s.command)];
+    for (std::size_t i = 0; i < n; ++i) {
+      if (taken[i] != 0) continue;
+      data::Sample s = frames_v[i];
+      const auto c = counts[static_cast<std::size_t>(s.command)];
+      if (c > 0) {
+        // Multiplied onto the braking upweight collect_sample already set.
+        s.weight *= std::clamp(
+            static_cast<double>(n) / (data::kNumCommands * static_cast<double>(c)), 0.25, 8.0);
+        s.weight = std::clamp(s.weight, 0.25, 10.0);
+      }
+      if (valid_every > 0 && i % valid_every == valid_every - 1) {
+        node.validation.push_back(std::move(s));
+      } else {
+        node.dataset.add(std::move(s));
+      }
+    }
+    if (node.dataset.empty()) throw std::logic_error{"collect_phase: empty local dataset"};
+  }
+}
+
+double FleetSim::pair_distance(int a, int b) const {
+  return distance(world_.vehicle(a).pos, world_.vehicle(b).pos);
+}
+
+bool FleetSim::in_range(int a, int b) const {
+  return pair_distance(a, b) <= cfg_.radio.max_range_m;
+}
+
+bool FleetSim::cooldown_passed(int a, int b) const {
+  const auto it = last_chat_.find(pair_key(a, b));
+  return it == last_chat_.end() || time_ - it->second >= cfg_.pair_cooldown_s;
+}
+
+net::AssistInfo FleetSim::assist_info(int v, bool share_route) const {
+  const sim::CarAgent& car = world_.vehicle(v);
+  net::AssistInfo info;
+  info.pos = car.pos;
+  info.velocity = Vec2{std::cos(car.heading), std::sin(car.heading)} * car.speed;
+  info.speed = car.speed;
+  info.route_s = car.s;
+  info.route = share_route ? &car.route : nullptr;
+  info.bandwidth_bps = cfg_.radio.bandwidth_bps;
+  return info;
+}
+
+net::ContactEstimate FleetSim::estimate_contact_between(int a, int b, bool share_routes) const {
+  // Estimates use the loss model that actually governs the channel, so the
+  // no-wireless-loss configuration predicts full-bandwidth goodput.
+  return net::estimate_contact(assist_info(a, share_routes), assist_info(b, share_routes),
+                               cfg_.radio, cfg_.wireless_loss ? loss_ : no_loss_);
+}
+
+PairSession& FleetSim::start_session(int a, int b) {
+  if (!is_idle(a) || !is_idle(b)) throw std::logic_error{"start_session: endpoint busy"};
+  auto s = std::make_unique<PairSession>();
+  s->a_ = a;
+  s->b_ = b;
+  s->started_at_ = time_;
+  busy_[static_cast<std::size_t>(a)] = s.get();
+  busy_[static_cast<std::size_t>(b)] = s.get();
+  last_chat_[pair_key(a, b)] = time_;
+  ++stats_.sessions_started;
+  sessions_.push_back(std::move(s));
+  return *sessions_.back();
+}
+
+PairSession& FleetSim::start_infra_session(int a, const Vec2& pos) {
+  if (!is_idle(a)) throw std::logic_error{"start_infra_session: vehicle busy"};
+  auto s = std::make_unique<PairSession>();
+  s->a_ = a;
+  s->b_ = -1;
+  s->fixed_pos_ = pos;
+  s->started_at_ = time_;
+  busy_[static_cast<std::size_t>(a)] = s.get();
+  ++stats_.sessions_started;
+  sessions_.push_back(std::move(s));
+  return *sessions_.back();
+}
+
+void FleetSim::queue_transfer(PairSession& s, int from_vehicle, std::size_t bytes,
+                              StageTag tag) {
+  tag.from = from_vehicle;
+  if (tag.kind == StageTag::kModel && bytes > 0) ++stats_.model_sends_started;
+  if (tag.kind == StageTag::kCoreset && bytes > 0) ++stats_.coreset_sends_started;
+  s.queue_.push_back(PairSession::Stage{tag, net::Transfer{bytes, cfg_.radio}});
+}
+
+bool FleetSim::infra_transfer_succeeds(Rng& r) {
+  if (!cfg_.wireless_loss) return true;
+  const double p = loss_.sample_uniform_loss(r);
+  return r.chance(1.0 - p);
+}
+
+double FleetSim::session_distance(const PairSession& s) const {
+  const Vec2 pa = world_.vehicle(s.a_).pos;
+  if (s.infrastructure()) return distance(pa, s.fixed_pos_);
+  return distance(pa, world_.vehicle(s.b_).pos);
+}
+
+void FleetSim::tick_sessions(double dt) {
+  const net::WirelessLossModel& active_loss = cfg_.wireless_loss ? loss_ : no_loss_;
+  // Iterate over a snapshot: callbacks may start new sessions.
+  const std::size_t count = sessions_.size();
+  for (std::size_t i = 0; i < count; ++i) {
+    PairSession& s = *sessions_[i];
+    if (s.closed_ && s.queue_.empty()) continue;
+    const double d = session_distance(s);
+    if (d > cfg_.radio.max_range_m || (!s.queue_.empty() && time_ > s.deadline_s) ||
+        (!s.queue_.empty() && time_ - s.started_at_ > cfg_.session_timeout_s)) {
+      ++stats_.sessions_aborted;
+      s.queue_.clear();
+      s.closed_ = true;
+      strategy_->on_session_aborted(*this, s);
+      continue;
+    }
+    // Drain any zero-byte stages, then advance the head transfer once.
+    bool ticked = false;
+    while (!s.queue_.empty()) {
+      auto& stage = s.queue_.front();
+      if (!stage.transfer.complete() && !ticked) {
+        stats_.bytes_delivered += stage.transfer.tick(d, dt, active_loss, net_rng_);
+        ticked = true;
+      }
+      if (!stage.transfer.complete()) break;
+      const StageTag tag = stage.tag;
+      s.queue_.pop_front();
+      if (tag.kind == StageTag::kModel) ++stats_.model_sends_completed;
+      if (tag.kind == StageTag::kCoreset) ++stats_.coreset_sends_completed;
+      strategy_->on_transfer_complete(*this, s, tag);
+      if (s.closed_) {
+        s.queue_.clear();
+        break;
+      }
+    }
+    if (s.queue_.empty() && !s.closed_) {
+      strategy_->on_session_idle(*this, s);
+    }
+  }
+  reap_sessions();
+}
+
+void FleetSim::reap_sessions() {
+  for (auto it = sessions_.begin(); it != sessions_.end();) {
+    PairSession& s = **it;
+    if (s.closed_ && s.queue_.empty()) {
+      if (busy_[static_cast<std::size_t>(s.a_)] == &s) {
+        busy_[static_cast<std::size_t>(s.a_)] = nullptr;
+      }
+      if (s.b_ >= 0 && busy_[static_cast<std::size_t>(s.b_)] == &s) {
+        busy_[static_cast<std::size_t>(s.b_)] = nullptr;
+        last_chat_[pair_key(s.a_, s.b_)] = time_;
+      }
+      it = sessions_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+double FleetSim::default_local_train(int v) {
+  VehicleNode& n = node(v);
+  const auto idx = n.dataset.sample_batch(n.rng, static_cast<std::size_t>(cfg_.batch_size));
+  std::vector<const data::Sample*> batch;
+  batch.reserve(idx.size());
+  for (const std::size_t i : idx) batch.push_back(&n.dataset[i]);
+  ++train_steps_;
+  return n.model.train_batch(batch, *n.opt);
+}
+
+double FleetSim::mean_eval_loss() const {
+  if (eval_set_.empty() || nodes_.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& n : nodes_) sum += n->model.weighted_loss(eval_set_);
+  return sum / static_cast<double>(nodes_.size());
+}
+
+RunMetrics FleetSim::run() {
+  RunMetrics metrics;
+  collect_phase();
+  strategy_->setup(*this);
+  metrics.loss_curve.add(0.0, mean_eval_loss());
+
+  double next_train = cfg_.train_interval_s;
+  double next_eval = cfg_.eval_interval_s;
+  while (time_ < cfg_.duration_s) {
+    world_.step(cfg_.tick_s);
+    time_ += cfg_.tick_s;
+    if (time_ >= next_train) {
+      for (int v = 0; v < num_vehicles(); ++v) strategy_->local_train(*this, v);
+      next_train += cfg_.train_interval_s;
+    }
+    strategy_->on_tick(*this);
+    tick_sessions(cfg_.tick_s);
+    if (time_ >= next_eval) {
+      metrics.loss_curve.add(time_, mean_eval_loss());
+      next_eval += cfg_.eval_interval_s;
+    }
+  }
+  if (metrics.loss_curve.times.back() < cfg_.duration_s) {
+    metrics.loss_curve.add(cfg_.duration_s, mean_eval_loss());
+  }
+  metrics.transfers = stats_;
+  metrics.train_steps = train_steps_;
+  metrics.final_params.reserve(nodes_.size());
+  for (const auto& n : nodes_) {
+    metrics.final_params.emplace_back(n->model.params().begin(), n->model.params().end());
+  }
+  return metrics;
+}
+
+}  // namespace lbchat::engine

@@ -1,0 +1,207 @@
+// Fleet simulation engine: drives the world, local training, opportunistic
+// pairwise exchange sessions over the wireless channel, and metrics.
+//
+// The engine is strategy-agnostic: LbChat, the gossip baselines, and the
+// infrastructure baselines all plug in through the Strategy interface.
+// Sessions model the paper's pairwise "chats": a sequence of directional
+// transfers over one shared link (rate min{B_i, B_j}) that aborts when the
+// pair leaves radio range — exactly the failure mode behind the paper's
+// "successful model receiving rate" metric (§IV-C).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <limits>
+#include <memory>
+#include <optional>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "data/dataset.h"
+#include "engine/metrics.h"
+#include "engine/scenario.h"
+#include "net/contact.h"
+#include "net/wireless.h"
+#include "nn/optim.h"
+#include "nn/policy.h"
+#include "sim/world.h"
+
+namespace lbchat::engine {
+
+/// Per-vehicle training state owned by the engine.
+struct VehicleNode {
+  int id = 0;
+  data::WeightedDataset dataset;
+  std::vector<data::Sample> validation;  ///< local hold-out (DP baseline)
+  nn::DrivingPolicy model;
+  std::unique_ptr<nn::Optimizer> opt;
+  Rng rng;
+
+  VehicleNode(int id_, const nn::PolicyConfig& policy, std::uint64_t init_seed, Rng rng_)
+      : id(id_), model(policy, init_seed), rng(rng_) {}
+};
+
+/// Strategy-visible label on a queued transfer.
+struct StageTag {
+  enum Kind : int { kAssist = 0, kCoreset = 1, kModel = 2, kOther = 3 };
+  Kind kind = kOther;
+  int from = -1;    ///< sending vehicle id (or -1 for the infrastructure side)
+  int payload = 0;  ///< strategy-defined discriminator
+};
+
+/// One pairwise exchange session. `vehicle_b < 0` denotes an infrastructure
+/// endpoint (RSU) at `fixed_pos`.
+class PairSession {
+ public:
+  [[nodiscard]] int vehicle_a() const { return a_; }
+  [[nodiscard]] int vehicle_b() const { return b_; }
+  [[nodiscard]] bool infrastructure() const { return b_ < 0; }
+  [[nodiscard]] const Vec2& fixed_pos() const { return fixed_pos_; }
+  [[nodiscard]] double started_at() const { return started_at_; }
+  [[nodiscard]] bool idle() const { return queue_.empty(); }
+  [[nodiscard]] bool closed() const { return closed_; }
+  /// Mark the session finished; it is reaped once the queue drains (close
+  /// with a non-empty queue drops the remaining stages).
+  void close() { closed_ = true; }
+
+  /// The other vehicle of the pair from `v`'s perspective.
+  [[nodiscard]] int peer_of(int v) const { return v == a_ ? b_ : a_; }
+
+  // Strategy scratch.
+  int phase = 0;
+  std::shared_ptr<void> data;
+  /// Absolute give-up time: the engine aborts the session past this point
+  /// (strategies set it to the planned exchange window so vehicles decouple
+  /// and move on, per the paper's time-budget semantics).
+  double deadline_s = std::numeric_limits<double>::infinity();
+
+ private:
+  friend class FleetSim;
+  struct Stage {
+    StageTag tag;
+    net::Transfer transfer;
+  };
+  int a_ = -1;
+  int b_ = -1;
+  Vec2 fixed_pos_{};
+  double started_at_ = 0.0;
+  bool closed_ = false;
+  std::deque<Stage> queue_;
+};
+
+class FleetSim;
+
+/// A collaborative-training approach (LbChat or a baseline).
+class Strategy {
+ public:
+  virtual ~Strategy() = default;
+  [[nodiscard]] virtual std::string_view name() const = 0;
+
+  /// Called once after data collection, before the training loop.
+  virtual void setup(FleetSim& sim) { (void)sim; }
+  /// One local training step for vehicle `v` (default: one weighted
+  /// minibatch through the vehicle's optimizer).
+  virtual void local_train(FleetSim& sim, int v);
+  /// Called every engine tick: initiate encounters, run round logic, etc.
+  virtual void on_tick(FleetSim& sim) = 0;
+
+  // Session callbacks.
+  virtual void on_transfer_complete(FleetSim& sim, PairSession& s, const StageTag& tag) {
+    (void)sim;
+    (void)s;
+    (void)tag;
+  }
+  /// Queue drained and session not closed: queue the next protocol stage or
+  /// close.
+  virtual void on_session_idle(FleetSim& sim, PairSession& s) {
+    (void)sim;
+    s.close();
+  }
+  /// The endpoints left radio range with work pending.
+  virtual void on_session_aborted(FleetSim& sim, PairSession& s) {
+    (void)sim;
+    (void)s;
+  }
+};
+
+class FleetSim {
+ public:
+  FleetSim(const ScenarioConfig& cfg, std::unique_ptr<Strategy> strategy);
+  ~FleetSim();
+
+  /// Execute the full run: data collection, then the training loop.
+  RunMetrics run();
+
+  // --- accessors for strategies ---
+  [[nodiscard]] const ScenarioConfig& config() const { return cfg_; }
+  [[nodiscard]] double time() const { return time_; }
+  [[nodiscard]] sim::World& world() { return world_; }
+  [[nodiscard]] const sim::World& world() const { return world_; }
+  [[nodiscard]] const net::WirelessLossModel& loss_model() const { return loss_; }
+  [[nodiscard]] bool wireless_enabled() const { return cfg_.wireless_loss; }
+  [[nodiscard]] int num_vehicles() const { return static_cast<int>(nodes_.size()); }
+  [[nodiscard]] VehicleNode& node(int v) { return *nodes_[static_cast<std::size_t>(v)]; }
+  [[nodiscard]] const std::vector<data::Sample>& eval_set() const { return eval_set_; }
+  [[nodiscard]] Rng& rng() { return strategy_rng_; }
+  [[nodiscard]] TransferStats& stats() { return stats_; }
+
+  [[nodiscard]] double pair_distance(int a, int b) const;
+  [[nodiscard]] bool in_range(int a, int b) const;
+  [[nodiscard]] bool is_idle(int v) const {
+    return busy_[static_cast<std::size_t>(v)] == nullptr;
+  }
+  [[nodiscard]] bool cooldown_passed(int a, int b) const;
+  /// Assist info for a vehicle. `share_route = false` yields the baseline
+  /// view (constant-velocity extrapolation instead of the shared route).
+  [[nodiscard]] net::AssistInfo assist_info(int v, bool share_route = true) const;
+  [[nodiscard]] net::ContactEstimate estimate_contact_between(int a, int b,
+                                                              bool share_routes = true) const;
+
+  /// Start a vehicle-vehicle session (both must be idle and in range).
+  PairSession& start_session(int a, int b);
+  /// Start a vehicle-infrastructure session (RSU at `pos`); only the vehicle
+  /// becomes busy.
+  PairSession& start_infra_session(int a, const Vec2& pos);
+  /// Queue a directional transfer on a session; model transfers are counted
+  /// toward the receiving-rate statistics.
+  void queue_transfer(PairSession& s, int from_vehicle, std::size_t bytes, StageTag tag);
+
+  /// Bernoulli success of an idealized backend transfer: the paper models
+  /// infrastructure links as suffering "a wireless loss uniformly sampled
+  /// from the distance-loss lookup table". Always succeeds when the run is
+  /// configured without wireless loss.
+  bool infra_transfer_succeeds(Rng& r);
+
+  /// Default local training: one w(d)-weighted minibatch + optimizer step.
+  /// Returns the batch loss.
+  double default_local_train(int v);
+
+  /// Mean held-out loss across all vehicles' models (the loss-curve metric).
+  [[nodiscard]] double mean_eval_loss() const;
+
+ private:
+  void collect_phase();
+  void tick_sessions(double dt);
+  void reap_sessions();
+  [[nodiscard]] double session_distance(const PairSession& s) const;
+
+  ScenarioConfig cfg_;
+  net::WirelessLossModel loss_;
+  net::WirelessLossModel no_loss_;
+  sim::World world_;
+  std::unique_ptr<Strategy> strategy_;
+  std::vector<std::unique_ptr<VehicleNode>> nodes_;
+  std::vector<data::Sample> eval_set_;
+  std::vector<std::unique_ptr<PairSession>> sessions_;
+  std::vector<PairSession*> busy_;
+  std::unordered_map<std::uint64_t, double> last_chat_;  // pair key -> time
+  TransferStats stats_;
+  Rng strategy_rng_;
+  Rng net_rng_;
+  Rng infra_rng_;
+  double time_ = 0.0;
+  long train_steps_ = 0;
+};
+
+}  // namespace lbchat::engine

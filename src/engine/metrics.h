@@ -1,0 +1,39 @@
+// Per-run measurements: the training-loss curve (Figs. 2-3), the successful
+// model receiving rate (§IV-C), and byte accounting.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.h"
+
+namespace lbchat::engine {
+
+struct TransferStats {
+  int model_sends_started = 0;
+  int model_sends_completed = 0;
+  int coreset_sends_started = 0;
+  int coreset_sends_completed = 0;
+  int sessions_started = 0;
+  int sessions_aborted = 0;
+  std::uint64_t bytes_delivered = 0;
+
+  /// §IV-C: "successful model receiving rate on average".
+  [[nodiscard]] double model_receiving_rate() const {
+    return model_sends_started > 0
+               ? static_cast<double>(model_sends_completed) / model_sends_started
+               : 0.0;
+  }
+};
+
+struct RunMetrics {
+  /// Mean held-out loss of all vehicles' models vs simulated time.
+  TimeSeries loss_curve;
+  TransferStats transfers;
+  /// Final model parameters, one vector per vehicle.
+  std::vector<std::vector<float>> final_params;
+  /// Number of local SGD steps executed across the fleet.
+  long train_steps = 0;
+};
+
+}  // namespace lbchat::engine

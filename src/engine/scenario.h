@@ -1,0 +1,61 @@
+// Scenario configuration for a collaborative-training run (paper §IV-A).
+#pragma once
+
+#include <cstdint>
+
+#include "coreset/coreset.h"
+#include "net/wireless.h"
+#include "nn/policy.h"
+#include "sim/world.h"
+
+namespace lbchat::engine {
+
+struct ScenarioConfig {
+  std::uint64_t seed = 1;
+  int num_vehicles = 16;  ///< paper: 32 expert autopilots (scaled down)
+
+  sim::WorldConfig world{};
+  net::RadioConfig radio{};
+  net::WireSizeModel wire{};
+  /// Case (b) "with wireless loss" vs case (a) without (Fig. 2a/2b,
+  /// Tables II/III).
+  bool wireless_loss = true;
+
+  // --- Local data collection phase (paper: 1 h at 2 fps; scaled down) ---
+  double collect_duration_s = 600.0;
+  double collect_fps = 2.0;
+  /// Fraction of each vehicle's collected frames held out as its local
+  /// validation set (used by the DP baseline's loss-based merging).
+  double validation_fraction = 0.1;
+  /// Frames per vehicle contributed to the shared held-out evaluation set
+  /// that the loss-vs-time curves are measured on.
+  int eval_frames_per_vehicle = 12;
+
+  // --- Training phase ---
+  double duration_s = 2400.0;
+  double tick_s = 0.5;
+  double train_interval_s = 4.0;  ///< one local SGD batch per vehicle per interval
+  int batch_size = 32;            ///< paper: 64 at full scale
+  double learning_rate = 1e-3;    ///< Adam step size (paper: 1e-4 at full scale)
+  double eval_interval_s = 120.0;
+
+  // --- Protocol parameters ---
+  double time_budget_s = 15.0;  ///< T_B of Eq. (7)
+  std::size_t coreset_size = 150;
+  /// Minimum time between two chats of the same vehicle pair, so a fleet
+  /// does not spend the whole contact re-exchanging with one neighbour.
+  double pair_cooldown_s = 45.0;
+  /// Penalty coefficient lambda_c of Eq. (7) (units: normalized-loss/second).
+  double lambda_c = 0.0005;
+  /// Give-up timer: a session older than this is abandoned (covers stalled
+  /// transfers on a nearly-dead link; the paper's deadlock note, §III-A).
+  double session_timeout_s = 60.0;
+  /// How often a vehicle rebuilds its coreset from scratch with Algorithm 1
+  /// (between rebuilds, the merge-reduce fast path keeps it fresh).
+  double coreset_rebuild_interval_s = 240.0;
+
+  nn::PolicyConfig policy{};
+  coreset::PenaltyConfig penalty{};
+};
+
+}  // namespace lbchat::engine

@@ -1,0 +1,96 @@
+// Online evaluation (paper §IV-D): deploy a trained model on a testing
+// autopilot and navigate predefined routes; the metric is the driving
+// success rate — reaching the destination within a time budget without
+// colliding with cars or pedestrians.
+//
+// Conditions mirror the CARLA benchmark [24]: Straight, One Turn, full
+// navigation in an empty town (Navi. Empty), with traffic (Navi. Normal),
+// and with 1.2x traffic (Navi. Dense).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+#include "nn/policy.h"
+#include "sim/world.h"
+
+namespace lbchat::eval {
+
+enum class DrivingTask : int {
+  kStraight = 0,
+  kOneTurn = 1,
+  kNaviEmpty = 2,
+  kNaviNormal = 3,
+  kNaviDense = 4,
+};
+
+inline constexpr std::array<DrivingTask, 5> kAllTasks{
+    DrivingTask::kStraight, DrivingTask::kOneTurn, DrivingTask::kNaviEmpty,
+    DrivingTask::kNaviNormal, DrivingTask::kNaviDense};
+
+[[nodiscard]] std::string_view task_name(DrivingTask task);
+
+struct EvalConfig {
+  /// Base world (its map seed should match the training scenario so models
+  /// are evaluated on the town they trained in, as in the paper).
+  sim::WorldConfig world{};
+  std::uint64_t world_seed = 1;
+  int trials = 16;  ///< trials per condition
+
+  // Test-autopilot controller.
+  double control_dt = 0.25;
+  double bev_period_s = 0.5;  ///< model inference period (2 fps, as collected)
+  double max_speed = 12.0;
+  double accel = 2.5;
+  double brake_decel = 4.5;
+  double max_yaw_rate = 1.5;  ///< rad/s steering authority
+
+  // Trial termination.
+  double goal_radius_m = 10.0;
+  double budget_factor = 2.5;    ///< time budget = factor * length / nominal
+  double nominal_speed = 7.0;    ///< m/s
+  double min_budget_s = 45.0;
+  double abort_offroute_m = 30.0;  ///< declare the car lost beyond this
+
+  // Condition parameters.
+  double dense_traffic_factor = 1.2;  ///< Navi. Dense vs Navi. Normal
+  double warmup_max_s = 40.0;         ///< traffic warm-up randomized per trial
+
+  // Route selection.
+  double straight_min_m = 150.0;
+  double navi_min_m = 400.0;
+  int route_attempts = 200;
+};
+
+struct TrialResult {
+  bool success = false;
+  bool collision = false;
+  bool timeout = false;
+  bool lost = false;  ///< wandered too far off the route
+  double duration_s = 0.0;
+  double route_length_m = 0.0;
+};
+
+class OnlineEvaluator {
+ public:
+  explicit OnlineEvaluator(EvalConfig cfg = {});
+
+  /// Fraction of successful trials for `model` under `task`. Routes, traffic,
+  /// and warm-ups are deterministic in (task, trial index), so different
+  /// models face identical situations (paired comparison).
+  [[nodiscard]] double success_rate(const nn::DrivingPolicy& model, DrivingTask task) const;
+
+  [[nodiscard]] TrialResult run_trial(const nn::DrivingPolicy& model, DrivingTask task,
+                                      int trial) const;
+
+  [[nodiscard]] const EvalConfig& config() const { return cfg_; }
+
+ private:
+  [[nodiscard]] sim::WorldConfig world_for(DrivingTask task) const;
+  [[nodiscard]] sim::Route pick_route(const sim::TownMap& map, DrivingTask task, Rng& rng) const;
+
+  EvalConfig cfg_;
+};
+
+}  // namespace lbchat::eval

@@ -1,0 +1,54 @@
+#include "net/contact.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lbchat::net {
+
+namespace {
+
+Vec2 predicted_position(const AssistInfo& v, double dt) {
+  if (v.route == nullptr || v.route->empty()) return v.pos + v.velocity * dt;
+  return v.route->position_at(v.route_s + v.speed * dt);
+}
+
+}  // namespace
+
+ContactEstimate estimate_contact(const AssistInfo& a, const AssistInfo& b,
+                                 const RadioConfig& radio, const WirelessLossModel& loss,
+                                 double horizon_s) {
+  ContactEstimate est;
+  double delivery_sum = 0.0;
+  double goodput_sum = 0.0;
+  for (double t = 0.0; t <= horizon_s; t += 1.0) {
+    const double d = distance(predicted_position(a, t), predicted_position(b, t));
+    if (d > radio.max_range_m) break;
+    est.distances.push_back(d);
+    delivery_sum += loss.delivery_probability(d, radio.max_retransmissions);
+    goodput_sum += 1.0 - loss.packet_loss(d);
+    est.duration_s = t + 1.0;
+  }
+  if (!est.distances.empty()) {
+    const auto n = static_cast<double>(est.distances.size());
+    est.mean_delivery = delivery_sum / n;
+    est.mean_goodput = goodput_sum / n;
+  }
+  return est;
+}
+
+double contact_priority(const ContactEstimate& contact, double needed_s) {
+  if (needed_s <= 0.0) return 1.0;
+  return std::min(contact.duration_s / needed_s, 1.0);
+}
+
+double completion_probability(const ContactEstimate& contact) {
+  return std::clamp(contact.mean_delivery, 0.0, 1.0);
+}
+
+double priority_score(const AssistInfo& a, const AssistInfo& b, const ContactEstimate& contact,
+                      double needed_s) {
+  return contact_priority(contact, needed_s) * completion_probability(contact) *
+         std::min(a.bandwidth_bps, b.bandwidth_bps);
+}
+
+}  // namespace lbchat::net

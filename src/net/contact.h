@@ -1,0 +1,66 @@
+// Contact estimation and the exchange-priority score (paper §III-A, Eq. (5)).
+//
+// Vehicles exchange assistive information (location, speed, route over the
+// next few minutes, available bandwidth — 184 bytes) and estimate:
+//   * T_contact   — how long the pair stays within radio range,
+//   * z_ij        — the truncated contact-duration priority of RoadTrain [7],
+//   * p_ij        — the probability the model exchange completes, from the
+//                   distance-based loss along the predicted trajectory,
+//   * c_ij = z_ij * p_ij * min{B_i, B_j}   (Eq. (5)).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/geometry.h"
+#include "net/wireless.h"
+#include "sim/route.h"
+
+namespace lbchat::net {
+
+/// The assistive information a vehicle shares on encounter (184 bytes on the
+/// wire per the paper; contents: pose, speed, near-future route, bandwidth).
+struct AssistInfo {
+  Vec2 pos;
+  Vec2 velocity;   ///< current velocity vector (fallback predictor)
+  double speed = 0.0;
+  double route_s = 0.0;                 ///< current arc length on `route`
+  /// Route for the next few minutes. Only LbChat shares routes; baselines
+  /// leave this null and contact prediction falls back to constant-velocity
+  /// extrapolation, which goes stale as soon as a vehicle turns — that
+  /// difference is the paper's "route sharing" robustness mechanism.
+  const sim::Route* route = nullptr;
+  double bandwidth_bps = 31e6;
+};
+
+struct ContactEstimate {
+  double duration_s = 0.0;     ///< predicted remaining time within range
+  double mean_delivery = 0.0;  ///< mean per-packet delivery prob over the contact
+  /// Mean goodput fraction (1 - packet loss) over the contact: the expected
+  /// effective bandwidth is bandwidth * mean_goodput. LbChat sizes its
+  /// exchanges against this (loss-aware); the baselines do not.
+  double mean_goodput = 0.0;
+  std::vector<double> distances;  ///< sampled predicted pair distances (1 Hz)
+};
+
+/// Predict the contact window by rolling both vehicles forward along their
+/// shared routes at their current speeds (sampled at 1 s for `horizon_s`).
+[[nodiscard]] ContactEstimate estimate_contact(const AssistInfo& a, const AssistInfo& b,
+                                               const RadioConfig& radio,
+                                               const WirelessLossModel& loss,
+                                               double horizon_s = 120.0);
+
+/// z_ij: truncated ratio of predicted contact duration to the time needed for
+/// a full exchange (T_need): min(T_contact / T_need, 1). Larger means the
+/// contact, though possibly short, suffices.
+[[nodiscard]] double contact_priority(const ContactEstimate& contact, double needed_s);
+
+/// p_ij: probability proxy for completing a model send within the contact,
+/// from the per-packet delivery probabilities along the predicted trajectory.
+[[nodiscard]] double completion_probability(const ContactEstimate& contact);
+
+/// Eq. (5): c_ij = z_ij * p_ij * min{B_i, B_j}.
+[[nodiscard]] double priority_score(const AssistInfo& a, const AssistInfo& b,
+                                    const ContactEstimate& contact, double needed_s);
+
+}  // namespace lbchat::net

@@ -1,0 +1,78 @@
+#include "nn/compress.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace lbchat::nn {
+
+namespace {
+constexpr std::size_t kHeaderBytes = 8;  // dim + flags/count
+}
+
+std::size_t SparseModel::logical_bytes() const {
+  if (dense) return kHeaderBytes + static_cast<std::size_t>(dim) * 4;
+  return kHeaderBytes + indices.size() * 8;
+}
+
+std::vector<float> SparseModel::densify() const {
+  if (dense) return values;
+  std::vector<float> out(dim, 0.0f);
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    if (indices[i] >= dim) throw std::out_of_range{"SparseModel::densify: bad index"};
+    out[indices[i]] = values[i];
+  }
+  return out;
+}
+
+double SparseModel::psi() const {
+  if (dim == 0) return 0.0;
+  if (dense) return 1.0;
+  return static_cast<double>(indices.size() * 8) / (static_cast<double>(dim) * 4);
+}
+
+std::size_t top_k_for_psi(double psi, std::size_t dim) {
+  if (psi <= 0.0) return 0;
+  if (psi >= 1.0) return dim;
+  const auto k = static_cast<std::size_t>(std::floor(psi * static_cast<double>(dim) / 2.0));
+  return std::min(k, dim);
+}
+
+SparseModel top_k_sparsify(std::span<const float> params, std::size_t k) {
+  SparseModel m;
+  m.dim = static_cast<std::uint32_t>(params.size());
+  if (k >= params.size() || k > params.size() / 2) {
+    // Sparse encoding would not be smaller than dense: send dense.
+    m.dense = true;
+    m.values.assign(params.begin(), params.end());
+    return m;
+  }
+  if (k == 0) return m;  // psi = 0: nothing transmitted
+
+  std::vector<std::uint32_t> order(params.size());
+  std::iota(order.begin(), order.end(), 0u);
+  std::nth_element(order.begin(), order.begin() + static_cast<std::ptrdiff_t>(k - 1), order.end(),
+                   [&](std::uint32_t a, std::uint32_t b) {
+                     return std::abs(params[a]) > std::abs(params[b]);
+                   });
+  order.resize(k);
+  std::sort(order.begin(), order.end());  // ascending indices: friendlier wire format
+  m.indices = std::move(order);
+  m.values.reserve(k);
+  for (const std::uint32_t i : m.indices) m.values.push_back(params[i]);
+  return m;
+}
+
+SparseModel compress_for_psi(std::span<const float> params, double psi) {
+  if (psi >= 1.0) {
+    SparseModel m;
+    m.dim = static_cast<std::uint32_t>(params.size());
+    m.dense = true;
+    m.values.assign(params.begin(), params.end());
+    return m;
+  }
+  return top_k_sparsify(params, top_k_for_psi(psi, params.size()));
+}
+
+}  // namespace lbchat::nn

@@ -1,0 +1,48 @@
+// Top-k sparsification model compression (paper §III-C, [22]) with
+// index-value pair encoding ([23]).
+//
+// The paper defines the compression ratio phi = S / S_c and its reciprocal
+// psi = S_c / S in [0, 1]: psi = 0 means "do not send", psi = 1 means "send
+// uncompressed". An index-value pair costs 8 bytes (u32 index + f32 value)
+// versus 4 bytes per dense coordinate, so sending the k largest-magnitude
+// coordinates yields psi = 8k / (4 dim) = 2k / dim. psi = 1 is encoded densely.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace lbchat::nn {
+
+/// A top-k sparsified model as it travels on the wire.
+struct SparseModel {
+  std::uint32_t dim = 0;  ///< full parameter count of the dense model
+  bool dense = false;     ///< psi == 1 encoding: `values` holds all dim floats
+  std::vector<std::uint32_t> indices;
+  std::vector<float> values;
+
+  /// Logical wire size in (unscaled) bytes: dense -> 4*dim, sparse -> 8*k,
+  /// plus a small fixed header.
+  [[nodiscard]] std::size_t logical_bytes() const;
+
+  /// Reconstruct the dense parameter vector; untransmitted coordinates are 0
+  /// (standard top-k semantics — see DESIGN.md ambiguity #2).
+  [[nodiscard]] std::vector<float> densify() const;
+
+  /// The achieved reciprocal compression ratio psi = S_c / S.
+  [[nodiscard]] double psi() const;
+};
+
+/// Number of coordinates to keep so the sparse encoding occupies a fraction
+/// `psi` of the dense size. Clamped to [0, dim]; psi >= 1 selects all.
+[[nodiscard]] std::size_t top_k_for_psi(double psi, std::size_t dim);
+
+/// Compress by keeping the k largest-magnitude coordinates. k >= dim (or a
+/// k whose sparse encoding would exceed the dense size, i.e. k > dim/2)
+/// falls back to the dense encoding.
+[[nodiscard]] SparseModel top_k_sparsify(std::span<const float> params, std::size_t k);
+
+/// Convenience: compress directly for a target psi.
+[[nodiscard]] SparseModel compress_for_psi(std::span<const float> params, double psi);
+
+}  // namespace lbchat::nn

@@ -1,0 +1,31 @@
+// Wire/disk serialization of models and sparse models.
+#pragma once
+
+#include "common/bytes.h"
+#include "nn/compress.h"
+
+namespace lbchat::nn {
+
+inline void write_sparse_model(ByteWriter& w, const SparseModel& m) {
+  w.write_u32(m.dim);
+  w.write_u8(m.dense ? 1 : 0);
+  w.write_u32_vec(m.indices);
+  w.write_f32_vec(m.values);
+}
+
+inline SparseModel read_sparse_model(ByteReader& r) {
+  SparseModel m;
+  m.dim = r.read_u32();
+  m.dense = r.read_u8() != 0;
+  m.indices = r.read_u32_vec();
+  m.values = r.read_f32_vec();
+  return m;
+}
+
+inline void write_params(ByteWriter& w, std::span<const float> params) {
+  w.write_f32_vec(params);
+}
+
+inline std::vector<float> read_params(ByteReader& r) { return r.read_f32_vec(); }
+
+}  // namespace lbchat::nn

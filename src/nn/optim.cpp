@@ -1,0 +1,44 @@
+#include "nn/optim.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace lbchat::nn {
+
+void Sgd::step(std::span<float> params, std::span<const float> grads) {
+  if (params.size() != grads.size()) throw std::invalid_argument{"Sgd::step: size mismatch"};
+  if (velocity_.size() != params.size()) velocity_.assign(params.size(), 0.0f);
+  const auto lr = static_cast<float>(lr_);
+  const auto mu = static_cast<float>(momentum_);
+  const auto wd = static_cast<float>(weight_decay_);
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    const float g = grads[i] + wd * params[i];
+    velocity_[i] = mu * velocity_[i] + g;
+    params[i] -= lr * velocity_[i];
+  }
+}
+
+void Adam::step(std::span<float> params, std::span<const float> grads) {
+  if (params.size() != grads.size()) throw std::invalid_argument{"Adam::step: size mismatch"};
+  if (m_.size() != params.size()) {
+    m_.assign(params.size(), 0.0f);
+    v_.assign(params.size(), 0.0f);
+    t_ = 0;
+  }
+  ++t_;
+  const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+  const auto b1 = static_cast<float>(beta1_);
+  const auto b2 = static_cast<float>(beta2_);
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    const float g = grads[i];
+    m_[i] = b1 * m_[i] + (1.0f - b1) * g;
+    v_[i] = b2 * v_[i] + (1.0f - b2) * g * g;
+    const double mhat = m_[i] / bc1;
+    const double vhat = v_[i] / bc2;
+    params[i] -= static_cast<float>(lr_ * (mhat / (std::sqrt(vhat) + eps_) +
+                                           weight_decay_ * params[i]));
+  }
+}
+
+}  // namespace lbchat::nn

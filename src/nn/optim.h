@@ -1,0 +1,73 @@
+// First-order optimizers operating on flat parameter/gradient arrays.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+namespace lbchat::nn {
+
+/// Interface for optimizers over one model's flat parameter vector.
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+  /// Apply one update; params and grads must have the same (stable) size
+  /// across calls.
+  virtual void step(std::span<float> params, std::span<const float> grads) = 0;
+  /// Reset internal state (momentum/moment buffers).
+  virtual void reset() = 0;
+  [[nodiscard]] virtual std::unique_ptr<Optimizer> clone() const = 0;
+
+  [[nodiscard]] double learning_rate() const { return lr_; }
+  void set_learning_rate(double lr) { lr_ = lr; }
+
+ protected:
+  explicit Optimizer(double lr) : lr_(lr) {}
+  double lr_;
+};
+
+/// SGD with classical momentum and decoupled weight decay. The weight-decay
+/// term realizes the lambda_1 * ||x|| structural-risk penalty of Eq. (6)
+/// during training (its gradient), while the full penalized loss is evaluated
+/// by coreset::penalized_loss.
+class Sgd final : public Optimizer {
+ public:
+  explicit Sgd(double lr = 1e-4, double momentum = 0.9, double weight_decay = 0.0)
+      : Optimizer(lr), momentum_(momentum), weight_decay_(weight_decay) {}
+
+  void step(std::span<float> params, std::span<const float> grads) override;
+  void reset() override { velocity_.clear(); }
+  [[nodiscard]] std::unique_ptr<Optimizer> clone() const override {
+    return std::make_unique<Sgd>(lr_, momentum_, weight_decay_);
+  }
+
+ private:
+  double momentum_;
+  double weight_decay_;
+  std::vector<float> velocity_;
+};
+
+/// Adam (Kingma & Ba) with optional decoupled weight decay (AdamW-style).
+class Adam final : public Optimizer {
+ public:
+  explicit Adam(double lr = 1e-4, double beta1 = 0.9, double beta2 = 0.999, double eps = 1e-8,
+                double weight_decay = 0.0)
+      : Optimizer(lr), beta1_(beta1), beta2_(beta2), eps_(eps), weight_decay_(weight_decay) {}
+
+  void step(std::span<float> params, std::span<const float> grads) override;
+  void reset() override {
+    m_.clear();
+    v_.clear();
+    t_ = 0;
+  }
+  [[nodiscard]] std::unique_ptr<Optimizer> clone() const override {
+    return std::make_unique<Adam>(lr_, beta1_, beta2_, eps_, weight_decay_);
+  }
+
+ private:
+  double beta1_, beta2_, eps_, weight_decay_;
+  std::vector<float> m_, v_;
+  long t_ = 0;
+};
+
+}  // namespace lbchat::nn

@@ -1,0 +1,206 @@
+#include "nn/policy.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace lbchat::nn {
+
+using data::Command;
+using data::kNumCommands;
+
+struct DrivingPolicy::Workspace {
+  int batch = 0;
+  std::vector<Command> cmds;
+  std::vector<float> x;        // [B, C, H, W]
+  std::vector<float> a1;       // conv1 post-ReLU
+  std::vector<float> a2;       // conv2 post-ReLU (== flattened input to fc)
+  std::vector<float> h;        // fc post-ReLU [B, fc_dim]
+  std::vector<float> bh;       // branch hidden post-ReLU [B, branch_hidden]
+  std::vector<float> out;      // [B, out_dim]
+  // gradients (same shapes)
+  std::vector<float> g_out, g_bh, g_h, g_a2, g_a1;
+};
+
+DrivingPolicy::DrivingPolicy(const PolicyConfig& cfg, std::uint64_t init_seed) : cfg_(cfg) {
+  Rng init{init_seed};
+  Rng r1 = init.fork("conv1");
+  Rng r2 = init.fork("conv2");
+  Rng r3 = init.fork("fc");
+  conv1_ = Conv2d(store_, cfg.bev.channels, cfg.conv1_channels, cfg.bev.height, cfg.bev.width,
+                  /*kernel=*/3, /*stride=*/2, /*pad=*/1, r1);
+  conv2_ = Conv2d(store_, cfg.conv1_channels, cfg.conv2_channels, conv1_.out_h, conv1_.out_w,
+                  /*kernel=*/3, /*stride=*/2, /*pad=*/1, r2);
+  const int flat = static_cast<int>(conv2_.out_numel());
+  fc_ = Linear(store_, flat, cfg.fc_dim, r3);
+  branches_.reserve(kNumCommands);
+  for (int b = 0; b < kNumCommands; ++b) {
+    Rng rb = init.fork(hash_name("branch") + static_cast<std::uint64_t>(b));
+    Branch br;
+    br.hidden = Linear(store_, cfg.fc_dim, cfg.branch_hidden, rb);
+    br.out = Linear(store_, cfg.branch_hidden, 2 * data::kNumWaypoints, rb);
+    branches_.push_back(br);
+  }
+}
+
+void DrivingPolicy::set_params(std::span<const float> p) {
+  if (p.size() != store_.size()) throw std::invalid_argument{"set_params: size mismatch"};
+  std::copy(p.begin(), p.end(), store_.params().begin());
+}
+
+void DrivingPolicy::rasterize(const data::BevGrid& bev, float* out) const {
+  const auto n = static_cast<std::size_t>(cfg_.bev.numel());
+  if (bev.cells.size() != n) throw std::invalid_argument{"rasterize: BEV size mismatch"};
+  for (std::size_t i = 0; i < n; ++i) out[i] = bev.cells[i] != 0 ? 1.0f : 0.0f;
+}
+
+void DrivingPolicy::forward(const float* x, std::span<const Command> cmds, int batch,
+                            Workspace& ws) const {
+  const int out_dim = 2 * data::kNumWaypoints;
+  ws.batch = batch;
+  ws.cmds.assign(cmds.begin(), cmds.end());
+  const std::size_t in_n = static_cast<std::size_t>(cfg_.bev.numel());
+  ws.x.assign(x, x + static_cast<std::size_t>(batch) * in_n);
+  ws.a1.assign(static_cast<std::size_t>(batch) * conv1_.out_numel(), 0.0f);
+  ws.a2.assign(static_cast<std::size_t>(batch) * conv2_.out_numel(), 0.0f);
+  ws.h.assign(static_cast<std::size_t>(batch) * cfg_.fc_dim, 0.0f);
+  ws.bh.assign(static_cast<std::size_t>(batch) * cfg_.branch_hidden, 0.0f);
+  ws.out.assign(static_cast<std::size_t>(batch) * out_dim, 0.0f);
+
+  conv1_.forward(store_, ws.x, ws.a1, batch);
+  relu_forward(ws.a1);
+  conv2_.forward(store_, ws.a1, ws.a2, batch);
+  relu_forward(ws.a2);
+  fc_.forward(store_, ws.a2, ws.h, batch);
+  relu_forward(ws.h);
+  // Branch routing: each sample goes through the head of its command.
+  for (int n = 0; n < batch; ++n) {
+    const auto& br = branches_[static_cast<std::size_t>(ws.cmds[static_cast<std::size_t>(n)])];
+    const auto h_n = std::span<const float>{ws.h}.subspan(
+        static_cast<std::size_t>(n) * cfg_.fc_dim, static_cast<std::size_t>(cfg_.fc_dim));
+    const auto bh_n = std::span<float>{ws.bh}.subspan(
+        static_cast<std::size_t>(n) * cfg_.branch_hidden,
+        static_cast<std::size_t>(cfg_.branch_hidden));
+    const auto out_n = std::span<float>{ws.out}.subspan(static_cast<std::size_t>(n) * out_dim,
+                                                        static_cast<std::size_t>(out_dim));
+    br.hidden.forward(store_, h_n, bh_n, 1);
+    relu_forward(bh_n);
+    br.out.forward(store_, bh_n, out_n, 1);
+  }
+}
+
+WaypointVector DrivingPolicy::predict(const data::BevGrid& bev, Command cmd) const {
+  thread_local Workspace ws;
+  std::vector<float> x(static_cast<std::size_t>(cfg_.bev.numel()));
+  rasterize(bev, x.data());
+  const Command cmds[1] = {cmd};
+  forward(x.data(), cmds, 1, ws);
+  WaypointVector out{};
+  std::copy(ws.out.begin(), ws.out.end(), out.begin());
+  return out;
+}
+
+double DrivingPolicy::sample_loss(const data::Sample& s) const {
+  const WaypointVector pred = predict(s.bev, s.command);
+  double loss = 0.0;
+  for (std::size_t i = 0; i < pred.size(); ++i) {
+    loss += std::abs(static_cast<double>(pred[i]) - static_cast<double>(s.waypoints[i]));
+  }
+  return loss / static_cast<double>(pred.size());
+}
+
+double DrivingPolicy::weighted_loss(std::span<const data::Sample> samples,
+                                    std::span<const double> weights) const {
+  if (samples.empty()) return 0.0;
+  if (!weights.empty() && weights.size() != samples.size()) {
+    throw std::invalid_argument{"weighted_loss: weights size mismatch"};
+  }
+  double num = 0.0;
+  double den = 0.0;
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    const double w = weights.empty() ? 1.0 : weights[i];
+    if (w <= 0.0) continue;
+    num += w * sample_loss(samples[i]);
+    den += w;
+  }
+  return den > 0.0 ? num / den : 0.0;
+}
+
+double DrivingPolicy::train_batch(std::span<const data::Sample* const> batch, Optimizer& opt) {
+  const double loss = compute_batch_gradient(batch);
+  if (!batch.empty()) opt.step(store_.params(), store_.grads());
+  return loss;
+}
+
+double DrivingPolicy::compute_batch_gradient(std::span<const data::Sample* const> batch) {
+  if (batch.empty()) return 0.0;
+  const int B = static_cast<int>(batch.size());
+  const int out_dim = 2 * data::kNumWaypoints;
+  const std::size_t in_n = static_cast<std::size_t>(cfg_.bev.numel());
+
+  thread_local Workspace ws;
+  std::vector<float> x(static_cast<std::size_t>(B) * in_n);
+  std::vector<Command> cmds(static_cast<std::size_t>(B));
+  for (int n = 0; n < B; ++n) {
+    rasterize(batch[static_cast<std::size_t>(n)]->bev, x.data() + static_cast<std::size_t>(n) * in_n);
+    cmds[static_cast<std::size_t>(n)] = batch[static_cast<std::size_t>(n)]->command;
+  }
+  forward(x.data(), cmds, B, ws);
+
+  // L1 loss and its gradient. Per-sample loss is the mean abs error over
+  // the out_dim coordinates; the batch loss is the mean over samples.
+  double loss = 0.0;
+  ws.g_out.assign(ws.out.size(), 0.0f);
+  const float gscale = 1.0f / (static_cast<float>(B) * static_cast<float>(out_dim));
+  for (int n = 0; n < B; ++n) {
+    for (int k = 0; k < out_dim; ++k) {
+      const std::size_t i = static_cast<std::size_t>(n) * out_dim + k;
+      const float diff = ws.out[i] - batch[static_cast<std::size_t>(n)]->waypoints[
+                                         static_cast<std::size_t>(k)];
+      loss += std::abs(static_cast<double>(diff));
+      ws.g_out[i] = (diff > 0.0f ? 1.0f : (diff < 0.0f ? -1.0f : 0.0f)) * gscale;
+    }
+  }
+  loss /= static_cast<double>(B) * out_dim;
+
+  // Backward.
+  store_.zero_grads();
+  ws.g_bh.assign(ws.bh.size(), 0.0f);
+  ws.g_h.assign(ws.h.size(), 0.0f);
+  ws.g_a2.assign(ws.a2.size(), 0.0f);
+  ws.g_a1.assign(ws.a1.size(), 0.0f);
+
+  for (int n = 0; n < B; ++n) {
+    const auto& br = branches_[static_cast<std::size_t>(cmds[static_cast<std::size_t>(n)])];
+    const auto bh_n = std::span<const float>{ws.bh}.subspan(
+        static_cast<std::size_t>(n) * cfg_.branch_hidden,
+        static_cast<std::size_t>(cfg_.branch_hidden));
+    const auto h_n = std::span<const float>{ws.h}.subspan(
+        static_cast<std::size_t>(n) * cfg_.fc_dim, static_cast<std::size_t>(cfg_.fc_dim));
+    const auto g_out_n = std::span<const float>{ws.g_out}.subspan(
+        static_cast<std::size_t>(n) * out_dim, static_cast<std::size_t>(out_dim));
+    const auto g_bh_n = std::span<float>{ws.g_bh}.subspan(
+        static_cast<std::size_t>(n) * cfg_.branch_hidden,
+        static_cast<std::size_t>(cfg_.branch_hidden));
+    const auto g_h_n = std::span<float>{ws.g_h}.subspan(
+        static_cast<std::size_t>(n) * cfg_.fc_dim, static_cast<std::size_t>(cfg_.fc_dim));
+    br.out.backward(store_, bh_n, g_out_n, g_bh_n, 1);
+    relu_backward(bh_n, g_bh_n);
+    br.hidden.backward(store_, h_n, g_bh_n, g_h_n, 1);
+  }
+  relu_backward(ws.h, ws.g_h);
+  fc_.backward(store_, ws.a2, ws.g_h, ws.g_a2, B);
+  relu_backward(ws.a2, ws.g_a2);
+  conv2_.backward(store_, ws.a1, ws.g_a2, ws.g_a1, B);
+  relu_backward(ws.a1, ws.g_a1);
+  conv1_.backward(store_, ws.x, ws.g_a1, /*gx=*/{}, B);
+  return loss;
+}
+
+double param_l2_norm(std::span<const float> params) {
+  double s = 0.0;
+  for (const float v : params) s += static_cast<double>(v) * v;
+  return std::sqrt(s);
+}
+
+}  // namespace lbchat::nn

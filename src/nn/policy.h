@@ -1,0 +1,94 @@
+// The BEV-based driving decision model (paper §IV-A).
+//
+// Miniature analogue of the privileged imitation-learning agent of
+// "Learning by Cheating" [19]: input is a binary BEV raster plus a high-level
+// navigation command; output is the next kNumWaypoints waypoints in the ego
+// frame. The command conditions the output through per-command branch heads,
+// as in conditional imitation learning.
+//
+// Architecture (defaults, ~27k parameters):
+//   BEV [4,16,16] -> Conv 3x3 s2 (8ch) -> ReLU -> Conv 3x3 s2 (16ch) -> ReLU
+//   -> flatten(256) -> Linear(64) -> ReLU -> branch[cmd]: Linear(32) -> ReLU
+//   -> Linear(2*kNumWaypoints)
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "data/frame.h"
+#include "nn/layers.h"
+#include "nn/optim.h"
+
+namespace lbchat::nn {
+
+struct PolicyConfig {
+  data::BevSpec bev = data::kDefaultBevSpec;
+  int conv1_channels = 8;
+  int conv2_channels = 16;
+  int fc_dim = 64;
+  int branch_hidden = 32;
+
+  friend constexpr bool operator==(const PolicyConfig&, const PolicyConfig&) = default;
+};
+
+/// Per-sample model output: normalized ego-frame waypoints, interleaved x,y.
+using WaypointVector = std::array<float, 2 * data::kNumWaypoints>;
+
+class DrivingPolicy {
+ public:
+  explicit DrivingPolicy(const PolicyConfig& cfg = {}, std::uint64_t init_seed = 42);
+
+  [[nodiscard]] const PolicyConfig& config() const { return cfg_; }
+  [[nodiscard]] std::size_t param_count() const { return store_.size(); }
+  [[nodiscard]] std::span<const float> params() const { return store_.params(); }
+  [[nodiscard]] std::span<float> params() { return store_.params(); }
+  void set_params(std::span<const float> p);
+
+  /// Inference on one frame.
+  [[nodiscard]] WaypointVector predict(const data::BevGrid& bev, data::Command cmd) const;
+
+  /// L1 waypoint loss of the model's prediction on one sample.
+  [[nodiscard]] double sample_loss(const data::Sample& s) const;
+
+  /// Mean loss over `samples` weighted by `weights` (must match in size, or
+  /// weights may be empty for uniform). This is the plain empirical term of
+  /// f(x; xi) in Eq. (6); the penalty terms live in coreset::penalized_loss.
+  [[nodiscard]] double weighted_loss(std::span<const data::Sample> samples,
+                                     std::span<const double> weights = {}) const;
+
+  /// Compute the minibatch gradient into the internal gradient buffer
+  /// (zeroed first) without touching the parameters; returns the batch loss.
+  /// Exposed so strategies with bespoke update rules (e.g. ProxSkip control
+  /// variates) can post-process the gradient before stepping.
+  double compute_batch_gradient(std::span<const data::Sample* const> batch);
+  [[nodiscard]] std::span<const float> grads() const { return store_.grads(); }
+
+  /// One optimizer step on the given minibatch (already sampled, typically by
+  /// w(d)-weighted sampling, so the batch loss is unweighted). Returns the
+  /// batch loss before the update.
+  double train_batch(std::span<const data::Sample* const> batch, Optimizer& opt);
+
+ private:
+  struct Workspace;
+  /// Forward pass over a batch; fills the workspace with all activations.
+  void forward(const float* x, std::span<const data::Command> cmds, int batch,
+               Workspace& ws) const;
+  void rasterize(const data::BevGrid& bev, float* out) const;
+
+  PolicyConfig cfg_;
+  ParamStore store_;
+  Conv2d conv1_, conv2_;
+  Linear fc_;
+  struct Branch {
+    Linear hidden;
+    Linear out;
+  };
+  std::vector<Branch> branches_;
+};
+
+/// Euclidean L2 norm of a parameter vector (the ||x|| regularizer of Eq. (6)).
+[[nodiscard]] double param_l2_norm(std::span<const float> params);
+
+}  // namespace lbchat::nn

@@ -1,0 +1,32 @@
+// Ego-centric bird-eye-view rasterization.
+//
+// The BEV is the model input of the driving decision task (paper §IV-A): a
+// sparse binary tensor depicting the front view of the vehicle top-down.
+// Channels: road surface, other vehicles, pedestrians, own planned route.
+// The ego sits near the bottom-centre of the raster looking "up".
+#pragma once
+
+#include <span>
+
+#include "common/geometry.h"
+#include "data/frame.h"
+#include "sim/route.h"
+#include "sim/town.h"
+
+namespace lbchat::sim {
+
+/// Raster anchor: the ego occupies cell (ego_row(spec), width/2).
+[[nodiscard]] constexpr int ego_row(const data::BevSpec& spec) { return spec.height - 3; }
+[[nodiscard]] constexpr int ego_col(const data::BevSpec& spec) { return spec.width / 2; }
+
+/// Render the BEV around pose (ego_pos, ego_heading).
+/// `cars` / `pedestrians` are world positions of the other agents;
+/// `route`/`route_s` identify the ego's planned path (route channel marks
+/// ~45 m of it ahead of s). Pass an empty route to leave the channel blank.
+[[nodiscard]] data::BevGrid render_bev(const data::BevSpec& spec, const TownMap& map,
+                                       const Vec2& ego_pos, double ego_heading,
+                                       std::span<const Vec2> cars,
+                                       std::span<const Vec2> pedestrians, const Route& route,
+                                       double route_s, double car_radius_m = 2.0);
+
+}  // namespace lbchat::sim

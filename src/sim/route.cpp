@@ -1,0 +1,136 @@
+#include "sim/route.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+#include <stdexcept>
+
+namespace lbchat::sim {
+
+using data::Command;
+
+Route::Route(std::vector<int> node_seq, const TownMap& map) : node_seq_(std::move(node_seq)) {
+  if (node_seq_.size() < 2) return;
+  pts_.reserve(node_seq_.size());
+  cum_s_.reserve(node_seq_.size());
+  double s = 0.0;
+  for (std::size_t i = 0; i < node_seq_.size(); ++i) {
+    const Vec2 p = map.nodes()[static_cast<std::size_t>(node_seq_[i])].pos;
+    if (i > 0) s += distance(pts_.back(), p);
+    pts_.push_back(p);
+    cum_s_.push_back(s);
+  }
+  // Turn classification at interior nodes. Only nodes with degree >= 3 are
+  // decision points (degree-2 nodes are mere bends -> no command).
+  for (std::size_t i = 1; i + 1 < node_seq_.size(); ++i) {
+    const auto& node = map.nodes()[static_cast<std::size_t>(node_seq_[i])];
+    if (!node.is_intersection()) continue;
+    const Vec2 in_dir = (pts_[i] - pts_[i - 1]).normalized();
+    const Vec2 out_dir = (pts_[i + 1] - pts_[i]).normalized();
+    const double angle = wrap_angle(out_dir.heading() - in_dir.heading());
+    Command cmd = Command::kStraight;
+    if (angle > M_PI / 6.0) {
+      cmd = Command::kLeft;
+    } else if (angle < -M_PI / 6.0) {
+      cmd = Command::kRight;
+    }
+    turns_.emplace_back(cum_s_[i], cmd);
+  }
+}
+
+Vec2 Route::position_at(double s) const {
+  if (empty()) return {};
+  s = std::clamp(s, 0.0, length());
+  const auto it = std::upper_bound(cum_s_.begin(), cum_s_.end(), s);
+  if (it == cum_s_.begin()) return pts_.front();
+  const auto i = static_cast<std::size_t>(std::distance(cum_s_.begin(), it));
+  if (i >= pts_.size()) return pts_.back();
+  const double seg = cum_s_[i] - cum_s_[i - 1];
+  const double t = seg > 1e-9 ? (s - cum_s_[i - 1]) / seg : 0.0;
+  return pts_[i - 1] + (pts_[i] - pts_[i - 1]) * t;
+}
+
+double Route::heading_at(double s) const {
+  if (empty()) return 0.0;
+  s = std::clamp(s, 0.0, length());
+  auto it = std::upper_bound(cum_s_.begin(), cum_s_.end(), s);
+  auto i = static_cast<std::size_t>(std::distance(cum_s_.begin(), it));
+  if (i == 0) i = 1;
+  if (i >= pts_.size()) i = pts_.size() - 1;
+  return (pts_[i] - pts_[i - 1]).heading();
+}
+
+Command Route::command_at(double s, double lookahead) const {
+  // The command stays active until well past the intersection (-10 m):
+  // arc-length projection can jump ahead while the vehicle is still rounding
+  // the corner, and dropping the command mid-turn strands it.
+  for (const auto& [turn_s, cmd] : turns_) {
+    if (turn_s >= s - 10.0 && turn_s <= s + lookahead) return cmd;
+  }
+  return Command::kFollow;
+}
+
+double Route::project(const Vec2& p) const {
+  if (empty()) return 0.0;
+  double best_s = 0.0;
+  double best_d = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 1; i < pts_.size(); ++i) {
+    const Vec2 a = pts_[i - 1];
+    const Vec2 b = pts_[i];
+    const Vec2 ab = b - a;
+    const double len2 = ab.norm2();
+    double t = len2 > 1e-12 ? (p - a).dot(ab) / len2 : 0.0;
+    t = std::clamp(t, 0.0, 1.0);
+    const Vec2 q = a + ab * t;
+    const double d = distance(p, q);
+    if (d < best_d) {
+      best_d = d;
+      best_s = cum_s_[i - 1] + t * std::sqrt(len2);
+    }
+  }
+  return best_s;
+}
+
+Route plan_route(const TownMap& map, int from, int to) {
+  const auto n = map.nodes().size();
+  if (from < 0 || to < 0 || static_cast<std::size_t>(from) >= n ||
+      static_cast<std::size_t>(to) >= n) {
+    throw std::invalid_argument{"plan_route: node index out of range"};
+  }
+  if (from == to) return Route{};
+
+  const auto h = [&](int a) {
+    return distance(map.nodes()[static_cast<std::size_t>(a)].pos,
+                    map.nodes()[static_cast<std::size_t>(to)].pos);
+  };
+  std::vector<double> g(n, std::numeric_limits<double>::infinity());
+  std::vector<int> prev(n, -1);
+  using Entry = std::pair<double, int>;  // (f, node)
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> open;
+  g[static_cast<std::size_t>(from)] = 0.0;
+  open.emplace(h(from), from);
+  while (!open.empty()) {
+    const auto [f, u] = open.top();
+    open.pop();
+    if (u == to) break;
+    if (f > g[static_cast<std::size_t>(u)] + h(u) + 1e-9) continue;  // stale entry
+    for (const int v : map.nodes()[static_cast<std::size_t>(u)].neighbors) {
+      const double cand = g[static_cast<std::size_t>(u)] +
+                          distance(map.nodes()[static_cast<std::size_t>(u)].pos,
+                                   map.nodes()[static_cast<std::size_t>(v)].pos);
+      if (cand < g[static_cast<std::size_t>(v)] - 1e-9) {
+        g[static_cast<std::size_t>(v)] = cand;
+        prev[static_cast<std::size_t>(v)] = u;
+        open.emplace(cand + h(v), v);
+      }
+    }
+  }
+  if (prev[static_cast<std::size_t>(to)] < 0) return Route{};
+  std::vector<int> seq;
+  for (int u = to; u != -1; u = prev[static_cast<std::size_t>(u)]) seq.push_back(u);
+  std::reverse(seq.begin(), seq.end());
+  return Route{std::move(seq), map};
+}
+
+}  // namespace lbchat::sim

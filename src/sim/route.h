@@ -1,0 +1,57 @@
+// Route planning over the town lane graph, with high-level command
+// extraction ("turn left", ...) — the navigation-service role in the paper:
+// vehicles "have access to assistant information (e.g. future routes in next
+// few minutes, which can be obtained from navigation services)".
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "common/geometry.h"
+#include "data/frame.h"
+#include "sim/town.h"
+
+namespace lbchat::sim {
+
+/// A polyline route through road nodes, parameterized by arc length s.
+class Route {
+ public:
+  Route() = default;
+  /// Build from an ordered node sequence over `map` (>= 2 nodes).
+  Route(std::vector<int> node_seq, const TownMap& map);
+
+  [[nodiscard]] bool empty() const { return pts_.size() < 2; }
+  [[nodiscard]] double length() const { return empty() ? 0.0 : cum_s_.back(); }
+  [[nodiscard]] const std::vector<int>& node_sequence() const { return node_seq_; }
+  [[nodiscard]] const std::vector<Vec2>& points() const { return pts_; }
+
+  /// World position at arc length s (clamped to [0, length]).
+  [[nodiscard]] Vec2 position_at(double s) const;
+  /// Tangent heading (radians) at arc length s.
+  [[nodiscard]] double heading_at(double s) const;
+
+  /// High-level command for a vehicle at arc length s: the turn type of the
+  /// next intersection within `lookahead` metres, else kFollow.
+  [[nodiscard]] data::Command command_at(double s, double lookahead = 35.0) const;
+
+  /// Arc length of the route point nearest to world position p (projection).
+  [[nodiscard]] double project(const Vec2& p) const;
+
+  /// Upcoming turn locations as (arc length, command) pairs (for tests).
+  [[nodiscard]] const std::vector<std::pair<double, data::Command>>& turns() const {
+    return turns_;
+  }
+
+ private:
+  std::vector<int> node_seq_;
+  std::vector<Vec2> pts_;
+  std::vector<double> cum_s_;
+  std::vector<std::pair<double, data::Command>> turns_;
+};
+
+/// A* shortest path between two nodes; returns an empty route when
+/// from == to or no path exists (generation guarantees connectivity, so the
+/// latter indicates a logic error upstream).
+[[nodiscard]] Route plan_route(const TownMap& map, int from, int to);
+
+}  // namespace lbchat::sim

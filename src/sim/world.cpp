@@ -1,0 +1,247 @@
+#include "sim/world.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace lbchat::sim {
+
+World::World(const WorldConfig& cfg, int num_vehicles, std::uint64_t seed)
+    : cfg_(cfg),
+      map_([&] {
+        Rng map_rng = Rng{seed}.fork("map");
+        return TownMap::generate(cfg.town, map_rng);
+      }()),
+      route_rng_(Rng{seed}.fork("routes")),
+      ped_rng_(Rng{seed}.fork("peds")) {
+  Rng spawn = Rng{seed}.fork("spawn");
+
+  vehicles_.resize(static_cast<std::size_t>(num_vehicles));
+  for (int i = 0; i < num_vehicles; ++i) {
+    CarAgent& a = vehicles_[static_cast<std::size_t>(i)];
+    // Half the fleet prefers urban destinations, half rural: this regional
+    // bias is what makes per-vehicle datasets heterogeneous.
+    const bool urban = spawn.uniform() <
+                       cfg.urban_dweller_fraction;  // deterministic per spawn order
+    a.urban_bias = urban ? 0.92 : 0.12;
+    a.at_node = map_.random_node_biased(spawn, a.urban_bias);
+    a.pos = map_.nodes()[static_cast<std::size_t>(a.at_node)].pos;
+    assign_new_route(a, spawn);
+  }
+
+  cars_.resize(static_cast<std::size_t>(cfg.num_background_cars));
+  for (CarAgent& a : cars_) {
+    a.urban_bias = 0.6;
+    a.at_node = map_.random_node_biased(spawn, a.urban_bias);
+    a.pos = map_.nodes()[static_cast<std::size_t>(a.at_node)].pos;
+    assign_new_route(a, spawn);
+  }
+
+  peds_.resize(static_cast<std::size_t>(cfg.num_pedestrians));
+  for (PedAgent& p : peds_) {
+    p.pos = map_.random_road_point(spawn);
+    p.target = map_.random_road_point(spawn);
+  }
+}
+
+void World::assign_new_route(CarAgent& a, Rng& rng) {
+  for (int attempt = 0; attempt < 16; ++attempt) {
+    const int dest = map_.random_node_biased(rng, a.urban_bias);
+    if (dest == a.at_node) continue;
+    Route r = plan_route(map_, a.at_node, dest);
+    if (r.empty()) continue;
+    a.route = std::move(r);
+    a.s = 0.0;
+    a.at_node = dest;
+    a.heading = a.route.heading_at(0.0);
+    return;
+  }
+  throw std::logic_error{"World::assign_new_route: could not plan a route"};
+}
+
+Vec2 World::lane_position(const Route& route, double s) const {
+  const Vec2 centre = route.position_at(s);
+  const double h = route.heading_at(s);
+  // Right normal of the tangent: rotate (cos h, sin h) by -90 degrees.
+  return centre + Vec2{std::sin(h), -std::cos(h)} * cfg_.lane_offset_m;
+}
+
+double World::allowed_speed_at(const Vec2& pos, double heading, double base_speed,
+                               int exclude_vehicle, bool ignore_cars) const {
+  double gap = std::numeric_limits<double>::infinity();
+  const auto consider = [&](const Vec2& obstacle, double radius) {
+    const Vec2 e = to_ego_frame(obstacle, pos, heading);
+    if (e.x <= 0.5 || e.x > cfg_.obstacle_lookahead_m) return;
+    if (std::abs(e.y) > cfg_.corridor_halfwidth_m + radius) return;
+    gap = std::min(gap, e.x);
+  };
+  if (!ignore_cars) {
+    for (int i = 0; i < num_vehicles(); ++i) {
+      if (i == exclude_vehicle) continue;
+      consider(vehicles_[static_cast<std::size_t>(i)].pos, cfg_.car_radius_m);
+    }
+    for (const CarAgent& c : cars_) consider(c.pos, cfg_.car_radius_m);
+    if (external_car_.has_value()) consider(*external_car_, cfg_.car_radius_m);
+  }
+  for (const PedAgent& p : peds_) consider(p.pos, cfg_.ped_radius_m);
+
+  if (!std::isfinite(gap)) return base_speed;
+  const double headroom = std::max(gap - cfg_.min_gap_m, 0.0);
+  return std::min(base_speed, std::sqrt(2.0 * cfg_.brake_decel * headroom));
+}
+
+double World::expert_target_speed(const CarAgent& a, int vehicle_index) const {
+  double base = cfg_.car_max_speed;
+  if (a.route.command_at(a.s) != data::Command::kFollow) base = cfg_.turn_speed;
+  // Slow for sharp geometric bends too (degree-2 corners carry no command
+  // but are dynamically just as demanding as commanded turns).
+  const double bend = std::abs(wrap_angle(a.route.heading_at(a.s + cfg_.bend_lookahead_m) -
+                                          a.route.heading_at(a.s)));
+  if (bend > cfg_.bend_threshold_rad) base = std::min(base, cfg_.turn_speed);
+  const bool ignore_cars = a.ignore_cars_until_s > time_;
+  return allowed_speed_at(a.pos, a.heading, base, vehicle_index, ignore_cars);
+}
+
+void World::step_car(CarAgent& a, double dt, int vehicle_index, Rng& rng) {
+  const double target = expert_target_speed(a, vehicle_index);
+  if (a.speed < target) {
+    a.speed = std::min(target, a.speed + cfg_.accel * dt);
+  } else {
+    a.speed = std::max(target, a.speed - cfg_.brake_decel * dt);
+  }
+  // Deadlock breaker: a car halted too long (crossing stalemate) briefly
+  // ignores other cars and creeps through.
+  if (a.speed < 0.1) {
+    if (a.blocked_since_s < 0.0) a.blocked_since_s = time_;
+    if (time_ - a.blocked_since_s > cfg_.deadlock_patience_s &&
+        a.ignore_cars_until_s < time_) {
+      a.ignore_cars_until_s = time_ + cfg_.deadlock_ignore_s;
+      a.blocked_since_s = -1.0;
+    }
+  } else {
+    a.blocked_since_s = -1.0;
+  }
+  a.s += a.speed * dt;
+  if (a.s >= a.route.length() - 0.5) {
+    assign_new_route(a, rng);
+  }
+  a.pos = lane_position(a.route, a.s);
+  a.heading = a.route.heading_at(a.s);
+}
+
+void World::step(double dt) {
+  for (int i = 0; i < num_vehicles(); ++i) {
+    step_car(vehicles_[static_cast<std::size_t>(i)], dt, i, route_rng_);
+  }
+  for (CarAgent& c : cars_) step_car(c, dt, -1, route_rng_);
+  for (PedAgent& p : peds_) {
+    const Vec2 delta = p.target - p.pos;
+    const double d = delta.norm();
+    if (d < 1.0) {
+      // Pick a new wander target near the current position (on a road, so
+      // pedestrians keep crossing streets and creating braking events).
+      for (int attempt = 0; attempt < 8; ++attempt) {
+        const Vec2 cand = map_.random_road_point(ped_rng_);
+        if (distance(cand, p.pos) <= cfg_.ped_target_radius_m) {
+          p.target = cand;
+          break;
+        }
+      }
+      if (distance(p.target, p.pos) < 1.0) p.target = map_.random_road_point(ped_rng_);
+    } else {
+      p.pos += delta * (std::min(cfg_.ped_speed * dt, d) / d);
+    }
+  }
+  time_ += dt;
+}
+
+std::vector<Vec2> World::car_positions(int exclude_vehicle) const {
+  std::vector<Vec2> out;
+  out.reserve(vehicles_.size() + cars_.size());
+  for (int i = 0; i < num_vehicles(); ++i) {
+    if (i == exclude_vehicle) continue;
+    out.push_back(vehicles_[static_cast<std::size_t>(i)].pos);
+  }
+  for (const CarAgent& c : cars_) out.push_back(c.pos);
+  return out;
+}
+
+std::vector<Vec2> World::pedestrian_positions() const {
+  std::vector<Vec2> out;
+  out.reserve(peds_.size());
+  for (const PedAgent& p : peds_) out.push_back(p.pos);
+  return out;
+}
+
+data::BevGrid World::render_ego_bev(const Vec2& pos, double heading, const Route& route,
+                                    double route_s, int exclude_vehicle) const {
+  return render_bev(cfg_.bev, map_, pos, heading, car_positions(exclude_vehicle),
+                    pedestrian_positions(), route, route_s, cfg_.car_radius_m);
+}
+
+data::Sample World::collect_sample(int v, std::uint64_t sample_id) const {
+  const CarAgent& a = vehicles_.at(static_cast<std::size_t>(v));
+
+  // Recovery augmentation: deterministically (per sample id) offset the
+  // recording pose sideways and in heading. The labels still aim at the
+  // lane, so the cloned policy learns to steer *back* when it drifts.
+  Vec2 pose_pos = a.pos;
+  double pose_heading = a.heading;
+  bool perturbed = false;
+  Rng perturb = Rng{sample_id ^ 0x9E3779B97F4A7C15ULL}.fork("perturb");
+  if (perturb.uniform() < cfg_.perturb_prob) {
+    perturbed = true;
+    const double lat = perturb.uniform(-cfg_.perturb_lateral_max_m, cfg_.perturb_lateral_max_m);
+    const double dh =
+        perturb.uniform(-cfg_.perturb_heading_max_rad, cfg_.perturb_heading_max_rad);
+    pose_pos += Vec2{std::sin(a.heading), -std::cos(a.heading)} * lat;
+    pose_heading = wrap_angle(a.heading + dh);
+  }
+
+  data::Sample s;
+  s.bev = render_ego_bev(pose_pos, pose_heading, a.route, a.s, v);
+  s.command = a.route.command_at(a.s);
+  s.id = sample_id;
+  s.source_vehicle = static_cast<std::uint32_t>(v);
+
+  // Expert waypoint labels: future along-route positions under the current
+  // obstacle-aware speed, relative to the (possibly perturbed) recording
+  // pose. When blocked the waypoints bunch at the ego — that is the "stop"
+  // signal the model imitates.
+  const double v_expert = expert_target_speed(a, v);
+  // Braking situations are rare but safety-critical: give them extra w(d) so
+  // minibatch sampling and coreset construction both see them.
+  s.weight = v_expert < 0.5 * cfg_.car_max_speed ? 3.0 : 1.0;
+  // Perturbed frames keep a minimum forward progression so the recovery
+  // label is "steer back to the lane", never "freeze off-road".
+  const double v_label = std::max(v_expert, perturbed ? 3.0 : 0.0);
+  for (int k = 0; k < data::kNumWaypoints; ++k) {
+    const double ds = v_label * cfg_.waypoint_dt_s * static_cast<double>(k + 1);
+    const Vec2 wp = to_ego_frame(lane_position(a.route, a.s + ds), pose_pos, pose_heading);
+    s.waypoints[static_cast<std::size_t>(2 * k)] =
+        static_cast<float>(wp.x / data::kWaypointScale);
+    s.waypoints[static_cast<std::size_t>(2 * k + 1)] =
+        static_cast<float>(wp.y / data::kWaypointScale);
+  }
+  return s;
+}
+
+bool World::collides(const Vec2& pos, double radius, int exclude_vehicle) const {
+  for (int i = 0; i < num_vehicles(); ++i) {
+    if (i == exclude_vehicle) continue;
+    if (distance(pos, vehicles_[static_cast<std::size_t>(i)].pos) <
+        radius + cfg_.car_radius_m) {
+      return true;
+    }
+  }
+  for (const CarAgent& c : cars_) {
+    if (distance(pos, c.pos) < radius + cfg_.car_radius_m) return true;
+  }
+  for (const PedAgent& p : peds_) {
+    if (distance(pos, p.pos) < radius + cfg_.ped_radius_m) return true;
+  }
+  return false;
+}
+
+}  // namespace lbchat::sim

@@ -1,0 +1,147 @@
+// The simulated driving world (CARLA substitute): expert autopilot vehicles
+// that collect training data, background cars and pedestrians as traffic,
+// kinematics, collision queries, and frame collection (paper §IV-A).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/geometry.h"
+#include "common/rng.h"
+#include "data/frame.h"
+#include "sim/bev.h"
+#include "sim/route.h"
+#include "sim/town.h"
+
+namespace lbchat::sim {
+
+struct WorldConfig {
+  TownConfig town{};
+  data::BevSpec bev{};
+  int num_background_cars = 25;  ///< paper: 50 at full CARLA scale
+  int num_pedestrians = 60;      ///< paper: 250 at full CARLA scale
+  double car_radius_m = 1.5;
+  double ped_radius_m = 0.5;
+  double car_max_speed = 12.0;       ///< cruise speed (m/s)
+  double turn_speed = 6.0;           ///< speed cap while a turn command is active
+  double accel = 2.5;                ///< m/s^2
+  double brake_decel = 3.5;          ///< m/s^2
+  double min_gap_m = 7.0;            ///< standstill gap behind an obstacle
+  double obstacle_lookahead_m = 26.0;
+  double corridor_halfwidth_m = 1.8;  ///< lateral window for obstacle relevance
+  /// Right-hand lane offset from the road centreline: keeps opposing traffic
+  /// on bidirectional roads laterally separated (no head-on deadlocks).
+  double lane_offset_m = 2.2;
+  /// Deadlock breaker for crossing stalemates at intersections: a car
+  /// blocked this long ignores *car* obstacles (not pedestrians) briefly.
+  double deadlock_patience_s = 20.0;
+  double deadlock_ignore_s = 6.0;
+  /// Experts slow to turn_speed when the road itself bends sharply ahead
+  /// (degree-2 polyline corners, which carry no navigation command).
+  double bend_lookahead_m = 18.0;
+  double bend_threshold_rad = 0.45;
+  /// Recovery augmentation (noise injection a la Codevilla et al.): a
+  /// fraction of collected frames render the BEV and compute labels from a
+  /// laterally/heading-perturbed ego pose, so the cloned policy learns to
+  /// steer back onto the lane instead of drifting off forever.
+  double perturb_prob = 0.3;
+  double perturb_lateral_max_m = 3.0;
+  double perturb_heading_max_rad = 0.35;
+  double ped_speed = 1.3;
+  double ped_target_radius_m = 40.0;
+  double waypoint_dt_s = 0.8;  ///< time spacing of expert waypoint labels
+  /// Fraction of peer vehicles whose destinations are urban-biased; the rest
+  /// roam rural — this is what makes local datasets heterogeneous.
+  double urban_dweller_fraction = 0.5;
+};
+
+/// A car glued to a road route (peer vehicle or background traffic).
+struct CarAgent {
+  Vec2 pos;
+  double heading = 0.0;
+  double speed = 0.0;
+  double s = 0.0;  ///< arc length along the current route
+  Route route;
+  int at_node = -1;     ///< node the current route ends at
+  double urban_bias = 0.5;
+  double blocked_since_s = -1.0;     ///< when the car last came to a halt
+  double ignore_cars_until_s = -1.0; ///< deadlock-breaker window
+};
+
+struct PedAgent {
+  Vec2 pos;
+  Vec2 target;
+};
+
+class World {
+ public:
+  /// `num_vehicles` peer (expert autopilot) vehicles, plus background traffic
+  /// per `cfg`. Fully deterministic for a given seed.
+  World(const WorldConfig& cfg, int num_vehicles, std::uint64_t seed);
+
+  void step(double dt);
+
+  [[nodiscard]] double time() const { return time_; }
+  [[nodiscard]] const TownMap& map() const { return map_; }
+  [[nodiscard]] const WorldConfig& config() const { return cfg_; }
+  [[nodiscard]] int num_vehicles() const { return static_cast<int>(vehicles_.size()); }
+  [[nodiscard]] const CarAgent& vehicle(int i) const {
+    return vehicles_[static_cast<std::size_t>(i)];
+  }
+
+  /// Positions of every car except peer vehicle `exclude_vehicle` (pass -1 to
+  /// include all). Includes background cars.
+  [[nodiscard]] std::vector<Vec2> car_positions(int exclude_vehicle = -1) const;
+  [[nodiscard]] std::vector<Vec2> pedestrian_positions() const;
+
+  /// Collect a training frame from peer vehicle `v` with the expert's
+  /// waypoint labels (paper: BEV + next command + next planned waypoints).
+  /// A deterministic (per sample id) fraction of frames is pose-perturbed
+  /// for recovery augmentation (see WorldConfig::perturb_prob).
+  [[nodiscard]] data::Sample collect_sample(int v, std::uint64_t sample_id) const;
+
+  /// Render a BEV for an arbitrary pose (used by the online evaluator's test
+  /// autopilot, which is not part of the world's own agent set).
+  [[nodiscard]] data::BevGrid render_ego_bev(const Vec2& pos, double heading, const Route& route,
+                                             double route_s, int exclude_vehicle = -1) const;
+
+  /// Obstacle-aware allowed speed at an arbitrary pose: scans cars and
+  /// pedestrians in the forward corridor. This is the expert's (and the
+  /// labels') braking behaviour. `ignore_cars` is the deadlock-breaker mode
+  /// (pedestrians are always respected).
+  [[nodiscard]] double allowed_speed_at(const Vec2& pos, double heading, double base_speed,
+                                        int exclude_vehicle = -1,
+                                        bool ignore_cars = false) const;
+
+  /// Lane-offset driving position for arc length `s` on `route` (right-hand
+  /// traffic): centreline shifted lane_offset_m to the right of the tangent.
+  [[nodiscard]] Vec2 lane_position(const Route& route, double s) const;
+
+  /// True when a circle at `pos` with `radius` overlaps any car or pedestrian
+  /// (peer vehicle `exclude_vehicle` excluded).
+  [[nodiscard]] bool collides(const Vec2& pos, double radius, int exclude_vehicle = -1) const;
+
+  /// Register (or clear, with nullopt) the position of an external vehicle —
+  /// the online evaluator's test autopilot — so that the world's own traffic
+  /// brakes for it, the same courtesy CARLA agents extend to the ego car.
+  /// The external car is never part of car_positions() or collides().
+  void set_external_car(std::optional<Vec2> pos) { external_car_ = pos; }
+
+ private:
+  void assign_new_route(CarAgent& a, Rng& rng);
+  void step_car(CarAgent& a, double dt, int vehicle_index, Rng& rng);
+  [[nodiscard]] double expert_target_speed(const CarAgent& a, int vehicle_index) const;
+
+  WorldConfig cfg_;
+  TownMap map_;
+  std::vector<CarAgent> vehicles_;
+  std::vector<CarAgent> cars_;
+  std::vector<PedAgent> peds_;
+  std::optional<Vec2> external_car_;
+  Rng route_rng_;
+  Rng ped_rng_;
+  double time_ = 0.0;
+};
+
+}  // namespace lbchat::sim

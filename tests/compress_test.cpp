@@ -1,0 +1,151 @@
+// Unit tests for top-k sparsification (paper §III-C) and its wire format.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/bytes.h"
+#include "nn/compress.h"
+#include "common/rng.h"
+#include "nn/model_io.h"
+
+namespace lbchat::nn {
+namespace {
+
+TEST(TopKTest, KeepsLargestMagnitudes) {
+  const std::vector<float> params{0.1f, -5.0f, 0.3f, 2.0f, -0.2f, 1.0f, 0.0f, -0.05f};
+  const SparseModel m = top_k_sparsify(params, 3);
+  ASSERT_EQ(m.indices.size(), 3u);
+  EXPECT_FALSE(m.dense);
+  // Largest magnitudes are -5, 2, 1 at indices 1, 3, 5 (sorted ascending).
+  EXPECT_EQ(m.indices, (std::vector<std::uint32_t>{1, 3, 5}));
+  EXPECT_FLOAT_EQ(m.values[0], -5.0f);
+  EXPECT_FLOAT_EQ(m.values[1], 2.0f);
+  EXPECT_FLOAT_EQ(m.values[2], 1.0f);
+}
+
+TEST(TopKTest, DensifyFillsZeros) {
+  const std::vector<float> params{1.0f, -2.0f, 3.0f, -4.0f};
+  const SparseModel m = top_k_sparsify(params, 1);
+  const auto dense = m.densify();
+  ASSERT_EQ(dense.size(), 4u);
+  EXPECT_FLOAT_EQ(dense[3], -4.0f);
+  EXPECT_FLOAT_EQ(dense[0], 0.0f);
+  EXPECT_FLOAT_EQ(dense[1], 0.0f);
+  EXPECT_FLOAT_EQ(dense[2], 0.0f);
+}
+
+TEST(TopKTest, ZeroKTransmitsNothing) {
+  const std::vector<float> params{1.0f, 2.0f};
+  const SparseModel m = top_k_sparsify(params, 0);
+  EXPECT_TRUE(m.indices.empty());
+  EXPECT_FALSE(m.dense);
+  const auto dense = m.densify();
+  EXPECT_FLOAT_EQ(dense[0], 0.0f);
+  EXPECT_DOUBLE_EQ(m.psi(), 0.0);
+}
+
+TEST(TopKTest, LargeKFallsBackToDense) {
+  std::vector<float> params(100);
+  for (std::size_t i = 0; i < params.size(); ++i) params[i] = static_cast<float>(i);
+  // k > dim/2 means index-value pairs are no smaller than dense encoding.
+  const SparseModel m = top_k_sparsify(params, 60);
+  EXPECT_TRUE(m.dense);
+  EXPECT_EQ(m.densify(), params);
+  EXPECT_DOUBLE_EQ(m.psi(), 1.0);
+}
+
+TEST(TopKTest, PsiToKRelation) {
+  EXPECT_EQ(top_k_for_psi(0.0, 1000), 0u);
+  EXPECT_EQ(top_k_for_psi(1.0, 1000), 1000u);
+  // psi = 2k/dim so k = psi*dim/2.
+  EXPECT_EQ(top_k_for_psi(0.5, 1000), 250u);
+  EXPECT_EQ(top_k_for_psi(0.1, 1000), 50u);
+}
+
+TEST(TopKTest, AchievedPsiMatchesRequested) {
+  std::vector<float> params(27288);
+  Rng rng{3};
+  for (float& v : params) v = static_cast<float>(rng.normal());
+  for (const double psi : {0.1, 0.25, 0.5, 0.9}) {
+    const SparseModel m = compress_for_psi(params, psi);
+    EXPECT_NEAR(m.psi(), psi, 0.01) << "psi=" << psi;
+  }
+}
+
+TEST(TopKTest, LogicalBytesMonotonicInPsi) {
+  std::vector<float> params(10000);
+  Rng rng{5};
+  for (float& v : params) v = static_cast<float>(rng.normal());
+  std::size_t prev = 0;
+  for (const double psi : {0.05, 0.2, 0.4, 0.8, 1.0}) {
+    const auto bytes = compress_for_psi(params, psi).logical_bytes();
+    EXPECT_GE(bytes, prev);
+    prev = bytes;
+  }
+  // Dense encoding is 4 bytes/coordinate plus header.
+  EXPECT_EQ(compress_for_psi(params, 1.0).logical_bytes(), 8u + 4u * 10000u);
+}
+
+TEST(TopKTest, ReconstructionErrorDecreasesWithPsi) {
+  std::vector<float> params(5000);
+  Rng rng{7};
+  for (float& v : params) v = static_cast<float>(rng.normal());
+  double prev_err = 1e18;
+  for (const double psi : {0.1, 0.3, 0.6, 1.0}) {
+    const auto dense = compress_for_psi(params, psi).densify();
+    double err = 0.0;
+    for (std::size_t i = 0; i < params.size(); ++i) {
+      err += std::abs(static_cast<double>(params[i]) - dense[i]);
+    }
+    EXPECT_LT(err, prev_err) << "psi=" << psi;
+    prev_err = err;
+  }
+  EXPECT_NEAR(prev_err, 0.0, 1e-9);  // psi = 1 is lossless
+}
+
+TEST(TopKTest, DensifyRejectsBadIndex) {
+  SparseModel m;
+  m.dim = 4;
+  m.indices = {9};
+  m.values = {1.0f};
+  EXPECT_THROW(m.densify(), std::out_of_range);
+}
+
+TEST(ModelIoTest, SparseModelRoundtrip) {
+  std::vector<float> params(257);
+  Rng rng{9};
+  for (float& v : params) v = static_cast<float>(rng.normal());
+  const SparseModel m = compress_for_psi(params, 0.3);
+  ByteWriter w;
+  write_sparse_model(w, m);
+  ByteReader r{w.bytes()};
+  const SparseModel back = read_sparse_model(r);
+  EXPECT_EQ(back.dim, m.dim);
+  EXPECT_EQ(back.dense, m.dense);
+  EXPECT_EQ(back.indices, m.indices);
+  EXPECT_EQ(back.values, m.values);
+}
+
+TEST(ModelIoTest, ParamsRoundtrip) {
+  const std::vector<float> params{1.0f, -2.0f, 0.25f};
+  ByteWriter w;
+  write_params(w, params);
+  ByteReader r{w.bytes()};
+  EXPECT_EQ(read_params(r), params);
+}
+
+class PsiSweepTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(PsiSweepTest, SparseEncodingNeverExceedsDense) {
+  std::vector<float> params(4096);
+  Rng rng{11};
+  for (float& v : params) v = static_cast<float>(rng.normal());
+  const auto m = compress_for_psi(params, GetParam());
+  EXPECT_LE(m.logical_bytes(), 8u + 4u * params.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Ratios, PsiSweepTest,
+                         ::testing::Values(0.0, 0.05, 0.125, 0.25, 0.5, 0.75, 0.99, 1.0));
+
+}  // namespace
+}  // namespace lbchat::nn

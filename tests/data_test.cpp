@@ -1,0 +1,123 @@
+// Unit tests for the weighted dataset store.
+#include <gtest/gtest.h>
+
+#include "data/dataset.h"
+
+namespace lbchat::data {
+namespace {
+
+Sample make(std::uint64_t id, Command cmd = Command::kFollow, double weight = 1.0) {
+  Sample s;
+  s.bev = BevGrid{kDefaultBevSpec};
+  s.command = cmd;
+  s.weight = weight;
+  s.id = id;
+  return s;
+}
+
+TEST(BevGridTest, SetAndGet) {
+  BevGrid g{kDefaultBevSpec};
+  EXPECT_EQ(g.cells.size(), static_cast<std::size_t>(kDefaultBevSpec.numel()));
+  g.set(kDefaultBevSpec, 2, 5, 7);
+  EXPECT_EQ(g.at(kDefaultBevSpec, 2, 5, 7), 1);
+  EXPECT_EQ(g.at(kDefaultBevSpec, 2, 5, 8), 0);
+  EXPECT_EQ(g.at(kDefaultBevSpec, 1, 5, 7), 0);
+}
+
+TEST(FrameTest, PackedSampleBytes) {
+  // 4*16*16 bits packed = 128 bytes + command + 8 float waypoints + weight.
+  EXPECT_EQ(packed_sample_bytes(kDefaultBevSpec), 128u + 1u + 32u + 8u);
+}
+
+TEST(DatasetTest, AddAndSize) {
+  WeightedDataset ds;
+  EXPECT_TRUE(ds.empty());
+  ds.add(make(1));
+  ds.add(make(2, Command::kLeft, 2.0));
+  EXPECT_EQ(ds.size(), 2u);
+  EXPECT_DOUBLE_EQ(ds.total_weight(), 3.0);
+  EXPECT_TRUE(ds.contains(1));
+  EXPECT_FALSE(ds.contains(3));
+}
+
+TEST(DatasetTest, NegativeWeightRejected) {
+  WeightedDataset ds;
+  EXPECT_THROW(ds.add(make(1, Command::kFollow, -1.0)), std::invalid_argument);
+}
+
+TEST(DatasetTest, AbsorbDeduplicatesById) {
+  WeightedDataset ds;
+  ds.add(make(1));
+  const std::vector<Sample> incoming{make(1), make(2), make(3), make(2)};
+  const auto added = ds.absorb(incoming);
+  EXPECT_EQ(added, 2u);  // ids 2 and 3; duplicate id 2 skipped
+  EXPECT_EQ(ds.size(), 3u);
+}
+
+TEST(DatasetTest, AbsorbKeepsOriginalWeightsByDefault) {
+  WeightedDataset ds;
+  const std::vector<Sample> incoming{make(7, Command::kLeft, 4.0)};
+  ds.absorb(incoming);
+  EXPECT_DOUBLE_EQ(ds[0].weight, 4.0);
+}
+
+TEST(DatasetTest, AbsorbCanOverrideWeights) {
+  WeightedDataset ds;
+  const std::vector<Sample> incoming{make(7, Command::kLeft, 4.0)};
+  ds.absorb(incoming, 1.5);
+  EXPECT_DOUBLE_EQ(ds[0].weight, 1.5);
+}
+
+TEST(DatasetTest, SampleBatchThrowsOnEmpty) {
+  WeightedDataset ds;
+  Rng rng{1};
+  EXPECT_THROW(ds.sample_batch(rng, 4), std::logic_error);
+}
+
+TEST(DatasetTest, SampleBatchRespectsWeights) {
+  WeightedDataset ds;
+  ds.add(make(0, Command::kFollow, 1.0));
+  ds.add(make(1, Command::kFollow, 9.0));
+  Rng rng{5};
+  int heavy = 0;
+  const int draws = 20000;
+  for (int i = 0; i < draws / 10; ++i) {
+    for (const auto idx : ds.sample_batch(rng, 10)) heavy += idx == 1 ? 1 : 0;
+  }
+  EXPECT_NEAR(heavy / static_cast<double>(draws), 0.9, 0.02);
+}
+
+TEST(DatasetTest, SampleBatchUniformWhenAllZeroWeights) {
+  WeightedDataset ds;
+  ds.add(make(0, Command::kFollow, 0.0));
+  ds.add(make(1, Command::kFollow, 0.0));
+  Rng rng{7};
+  int ones = 0;
+  const int draws = 10000;
+  for (const auto idx : ds.sample_batch(rng, draws)) ones += idx == 1 ? 1 : 0;
+  EXPECT_NEAR(ones / static_cast<double>(draws), 0.5, 0.03);
+}
+
+TEST(DatasetTest, CommandHistogram) {
+  WeightedDataset ds;
+  ds.add(make(0, Command::kFollow));
+  ds.add(make(1, Command::kLeft));
+  ds.add(make(2, Command::kLeft));
+  ds.add(make(3, Command::kStraight));
+  const auto h = ds.command_histogram();
+  EXPECT_EQ(h[0], 1u);
+  EXPECT_EQ(h[1], 2u);
+  EXPECT_EQ(h[2], 0u);
+  EXPECT_EQ(h[3], 1u);
+}
+
+TEST(DatasetTest, AbsorbAfterManyRoundsStaysDeduplicated) {
+  WeightedDataset ds;
+  std::vector<Sample> coreset;
+  for (std::uint64_t i = 0; i < 50; ++i) coreset.push_back(make(i));
+  for (int round = 0; round < 10; ++round) ds.absorb(coreset);
+  EXPECT_EQ(ds.size(), 50u);
+}
+
+}  // namespace
+}  // namespace lbchat::data

@@ -1,0 +1,258 @@
+// Tests for the fleet engine: data collection, session lifecycle, transfer
+// accounting, deadlines, and determinism.
+#include <gtest/gtest.h>
+
+#include "engine/fleet.h"
+
+namespace lbchat::engine {
+namespace {
+
+/// A tiny scenario that keeps engine tests fast.
+ScenarioConfig tiny_scenario() {
+  ScenarioConfig cfg;
+  cfg.num_vehicles = 4;
+  cfg.collect_duration_s = 60.0;
+  cfg.duration_s = 60.0;
+  cfg.eval_interval_s = 30.0;
+  cfg.eval_frames_per_vehicle = 4;
+  cfg.world.num_background_cars = 6;
+  cfg.world.num_pedestrians = 10;
+  return cfg;
+}
+
+/// A do-nothing strategy (local training only).
+class LocalOnlyStrategy final : public Strategy {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "local-only"; }
+  void on_tick(FleetSim&) override {}
+};
+
+/// A scripted strategy for session-mechanics tests.
+class ScriptedStrategy final : public Strategy {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "scripted"; }
+
+  void on_tick(FleetSim& sim) override {
+    if (started_) return;
+    // Use the first idle pair currently in (close) range so the transfer has
+    // a healthy link regardless of where the seed scattered the fleet.
+    for (int a = 0; a < sim.num_vehicles() && !started_; ++a) {
+      for (int b = a + 1; b < sim.num_vehicles() && !started_; ++b) {
+        if (!sim.is_idle(a) || !sim.is_idle(b)) continue;
+        if (sim.pair_distance(a, b) > sim.config().radio.max_range_m * 0.5) continue;
+        started_ = true;
+        PairSession& s = sim.start_session(a, b);
+        if (deadline_s > 0.0) s.deadline_s = sim.time() + deadline_s;
+        sim.queue_transfer(s, a, bytes_to_send, {StageTag::kModel, a, 0});
+      }
+    }
+  }
+  void on_transfer_complete(FleetSim&, PairSession&, const StageTag& tag) override {
+    completed_tags.push_back(tag.kind);
+  }
+  void on_session_aborted(FleetSim&, PairSession&) override { aborted = true; }
+
+  std::size_t bytes_to_send = 1024;
+  double deadline_s = -1.0;
+  std::vector<int> completed_tags;
+  bool aborted = false;
+
+ private:
+  bool started_ = false;
+};
+
+TEST(FleetSimTest, NullStrategyRejected) {
+  EXPECT_THROW(FleetSim(tiny_scenario(), nullptr), std::invalid_argument);
+}
+
+TEST(FleetSimTest, CollectPhasePopulatesDatasets) {
+  auto cfg = tiny_scenario();
+  FleetSim sim{cfg, std::make_unique<LocalOnlyStrategy>()};
+  const RunMetrics m = sim.run();
+  const int frames = static_cast<int>(cfg.collect_duration_s * cfg.collect_fps);
+  for (int v = 0; v < cfg.num_vehicles; ++v) {
+    auto& node = sim.node(v);
+    EXPECT_GT(node.dataset.size(), static_cast<std::size_t>(frames) * 7 / 10);
+    EXPECT_GT(node.validation.size(), 0u);
+    EXPECT_LT(node.validation.size(), node.dataset.size());
+  }
+  EXPECT_EQ(sim.eval_set().size(),
+            static_cast<std::size_t>(cfg.num_vehicles * cfg.eval_frames_per_vehicle));
+  EXPECT_GT(m.train_steps, 0);
+}
+
+TEST(FleetSimTest, CommandBalancedWeights) {
+  auto cfg = tiny_scenario();
+  cfg.collect_duration_s = 240.0;  // enough frames for all commands to appear
+  FleetSim sim{cfg, std::make_unique<LocalOnlyStrategy>()};
+  (void)sim.run();
+  // Rare commands carry higher w(d) on average than the dominant kFollow.
+  auto& ds = sim.node(0).dataset;
+  double follow_w = 0.0;
+  int follow_n = 0;
+  double turn_w = 0.0;
+  int turn_n = 0;
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    if (ds[i].command == data::Command::kFollow) {
+      follow_w += ds[i].weight;
+      ++follow_n;
+    } else {
+      turn_w += ds[i].weight;
+      ++turn_n;
+    }
+  }
+  if (turn_n == 0) GTEST_SKIP() << "no turn frames in this tiny run";
+  EXPECT_GT(turn_w / turn_n, follow_w / follow_n);
+}
+
+TEST(FleetSimTest, LossCurveRecordedAtIntervals) {
+  auto cfg = tiny_scenario();
+  FleetSim sim{cfg, std::make_unique<LocalOnlyStrategy>()};
+  const RunMetrics m = sim.run();
+  ASSERT_GE(m.loss_curve.size(), 3u);  // t=0, t=30, t=60
+  EXPECT_DOUBLE_EQ(m.loss_curve.times.front(), 0.0);
+  EXPECT_DOUBLE_EQ(m.loss_curve.times.back(), cfg.duration_s);
+  for (const double v : m.loss_curve.values) EXPECT_GT(v, 0.0);
+}
+
+TEST(FleetSimTest, LocalTrainingReducesLoss) {
+  auto cfg = tiny_scenario();
+  cfg.duration_s = 240.0;
+  FleetSim sim{cfg, std::make_unique<LocalOnlyStrategy>()};
+  const RunMetrics m = sim.run();
+  EXPECT_LT(m.loss_curve.values.back(), m.loss_curve.values.front() * 0.8);
+}
+
+TEST(FleetSimTest, DeterministicAcrossRuns) {
+  const auto cfg = tiny_scenario();
+  FleetSim a{cfg, std::make_unique<LocalOnlyStrategy>()};
+  FleetSim b{cfg, std::make_unique<LocalOnlyStrategy>()};
+  const RunMetrics ma = a.run();
+  const RunMetrics mb = b.run();
+  ASSERT_EQ(ma.loss_curve.size(), mb.loss_curve.size());
+  for (std::size_t i = 0; i < ma.loss_curve.size(); ++i) {
+    EXPECT_DOUBLE_EQ(ma.loss_curve.values[i], mb.loss_curve.values[i]);
+  }
+  ASSERT_EQ(ma.final_params.size(), mb.final_params.size());
+  EXPECT_EQ(ma.final_params[0], mb.final_params[0]);
+}
+
+TEST(FleetSimTest, ScriptedTransferCompletes) {
+  auto cfg = tiny_scenario();
+  cfg.duration_s = 120.0;
+  auto strategy = std::make_unique<ScriptedStrategy>();
+  auto* raw = strategy.get();
+  raw->bytes_to_send = 64 * 1024;  // tiny: completes within one contact
+  FleetSim sim{cfg, std::move(strategy)};
+  const RunMetrics m = sim.run();
+  EXPECT_EQ(m.transfers.model_sends_started, 1);
+  EXPECT_EQ(m.transfers.model_sends_completed, 1);
+  ASSERT_EQ(raw->completed_tags.size(), 1u);
+  EXPECT_EQ(raw->completed_tags[0], StageTag::kModel);
+  EXPECT_FALSE(raw->aborted);
+}
+
+TEST(FleetSimTest, DeadlineAbortsSlowTransfer) {
+  auto cfg = tiny_scenario();
+  cfg.duration_s = 120.0;
+  auto strategy = std::make_unique<ScriptedStrategy>();
+  auto* raw = strategy.get();
+  raw->bytes_to_send = 500ull * 1024 * 1024;  // ~2 minutes at 31 Mbps
+  raw->deadline_s = 5.0;
+  FleetSim sim{cfg, std::move(strategy)};
+  const RunMetrics m = sim.run();
+  EXPECT_TRUE(raw->aborted);
+  EXPECT_EQ(m.transfers.model_sends_started, 1);
+  EXPECT_EQ(m.transfers.model_sends_completed, 0);
+  EXPECT_EQ(m.transfers.sessions_aborted, 1);
+}
+
+TEST(FleetSimTest, SessionTimeoutIsEnforced) {
+  auto cfg = tiny_scenario();
+  cfg.duration_s = 150.0;
+  cfg.session_timeout_s = 20.0;
+  auto strategy = std::make_unique<ScriptedStrategy>();
+  auto* raw = strategy.get();
+  raw->bytes_to_send = 500ull * 1024 * 1024;
+  FleetSim sim{cfg, std::move(strategy)};
+  (void)sim.run();
+  EXPECT_TRUE(raw->aborted);
+}
+
+TEST(FleetSimTest, BusyVehiclesCannotStartSecondSession) {
+  auto cfg = tiny_scenario();
+  class DoubleStart final : public Strategy {
+   public:
+    [[nodiscard]] std::string_view name() const override { return "double"; }
+    void on_tick(FleetSim& sim) override {
+      if (done_ || !sim.in_range(0, 1)) return;
+      done_ = true;
+      PairSession& s = sim.start_session(0, 1);
+      sim.queue_transfer(s, 0, 10ull * 1024 * 1024, {StageTag::kOther, 0, 0});
+      EXPECT_FALSE(sim.is_idle(0));
+      EXPECT_FALSE(sim.is_idle(1));
+      EXPECT_THROW(sim.start_session(0, 2), std::logic_error);
+    }
+
+   private:
+    bool done_ = false;
+  };
+  FleetSim sim{cfg, std::make_unique<DoubleStart>()};
+  (void)sim.run();
+}
+
+TEST(FleetSimTest, InfraTransfersAlwaysSucceedWithoutWirelessLoss) {
+  auto cfg = tiny_scenario();
+  cfg.wireless_loss = false;
+  FleetSim sim{cfg, std::make_unique<LocalOnlyStrategy>()};
+  Rng rng{1};
+  for (int i = 0; i < 100; ++i) EXPECT_TRUE(sim.infra_transfer_succeeds(rng));
+}
+
+TEST(FleetSimTest, InfraTransfersFailSometimesWithWirelessLoss) {
+  auto cfg = tiny_scenario();
+  cfg.wireless_loss = true;
+  FleetSim sim{cfg, std::make_unique<LocalOnlyStrategy>()};
+  Rng rng{1};
+  int ok = 0;
+  const int n = 2000;
+  for (int i = 0; i < n; ++i) ok += sim.infra_transfer_succeeds(rng) ? 1 : 0;
+  // Expected success = 1 - mean(loss table) ~ 0.6, the paper's infra rate.
+  EXPECT_GT(ok, n / 2);
+  EXPECT_LT(ok, n * 8 / 10);
+}
+
+TEST(FleetSimTest, CooldownBlocksImmediateRechat) {
+  auto cfg = tiny_scenario();
+  cfg.pair_cooldown_s = 1000.0;
+  class OneShot final : public Strategy {
+   public:
+    [[nodiscard]] std::string_view name() const override { return "oneshot"; }
+    void on_tick(FleetSim& sim) override {
+      if (!sim.in_range(0, 1) || !sim.is_idle(0) || !sim.is_idle(1)) return;
+      if (!sim.cooldown_passed(0, 1)) return;
+      PairSession& s = sim.start_session(0, 1);
+      sim.queue_transfer(s, 0, 1000, {StageTag::kOther, 0, 0});
+      ++sessions;
+    }
+    int sessions = 0;
+  };
+  auto strategy = std::make_unique<OneShot>();
+  auto* raw = strategy.get();
+  FleetSim sim{cfg, std::move(strategy)};
+  (void)sim.run();
+  EXPECT_LE(raw->sessions, 1);
+}
+
+TEST(FleetSimTest, AssistInfoReflectsVehicleState) {
+  auto cfg = tiny_scenario();
+  FleetSim sim{cfg, std::make_unique<LocalOnlyStrategy>()};
+  const auto info = sim.assist_info(2);
+  EXPECT_EQ(info.pos, sim.world().vehicle(2).pos);
+  EXPECT_NE(info.route, nullptr);
+  const auto blind = sim.assist_info(2, /*share_route=*/false);
+  EXPECT_EQ(blind.route, nullptr);
+}
+
+}  // namespace
+}  // namespace lbchat::engine

@@ -1,0 +1,107 @@
+// Tests for the online driving evaluator (paper §IV-D).
+#include <gtest/gtest.h>
+
+#include "data/dataset.h"
+#include "eval/online.h"
+#include "nn/optim.h"
+#include "sim/world.h"
+
+namespace lbchat::eval {
+namespace {
+
+TEST(TaskTest, NamesAreUnique) {
+  std::set<std::string_view> names;
+  for (const auto t : kAllTasks) names.insert(task_name(t));
+  EXPECT_EQ(names.size(), kAllTasks.size());
+}
+
+TEST(EvaluatorTest, TrialIsDeterministic) {
+  EvalConfig cfg;
+  cfg.trials = 1;
+  const OnlineEvaluator ev{cfg};
+  const nn::DrivingPolicy model{{}, 5};
+  const TrialResult a = ev.run_trial(model, DrivingTask::kStraight, 0);
+  const TrialResult b = ev.run_trial(model, DrivingTask::kStraight, 0);
+  EXPECT_EQ(a.success, b.success);
+  EXPECT_DOUBLE_EQ(a.duration_s, b.duration_s);
+  EXPECT_DOUBLE_EQ(a.route_length_m, b.route_length_m);
+}
+
+TEST(EvaluatorTest, TrialsDifferByIndex) {
+  EvalConfig cfg;
+  const OnlineEvaluator ev{cfg};
+  const nn::DrivingPolicy model{{}, 5};
+  const TrialResult a = ev.run_trial(model, DrivingTask::kNaviEmpty, 0);
+  const TrialResult b = ev.run_trial(model, DrivingTask::kNaviEmpty, 1);
+  // Different trial indices draw different routes (lengths almost surely
+  // differ on this map).
+  EXPECT_NE(a.route_length_m, b.route_length_m);
+}
+
+TEST(EvaluatorTest, ExactlyOneOutcomeFlagSet) {
+  EvalConfig cfg;
+  const OnlineEvaluator ev{cfg};
+  const nn::DrivingPolicy model{{}, 7};
+  for (const auto task : {DrivingTask::kStraight, DrivingTask::kNaviNormal}) {
+    const TrialResult r = ev.run_trial(model, task, 2);
+    const int flags = (r.success ? 1 : 0) + (r.collision ? 1 : 0) + (r.timeout ? 1 : 0) +
+                      (r.lost ? 1 : 0);
+    EXPECT_EQ(flags, 1);
+  }
+}
+
+TEST(EvaluatorTest, UntrainedModelFailsNavigation) {
+  EvalConfig cfg;
+  cfg.trials = 6;
+  const OnlineEvaluator ev{cfg};
+  const nn::DrivingPolicy untrained{{}, 11};
+  EXPECT_LE(ev.success_rate(untrained, DrivingTask::kNaviEmpty), 0.34);
+}
+
+TEST(EvaluatorTest, TrainedModelDrivesStraightRoutes) {
+  // Train briefly on expert data from the same world seed, then expect
+  // clearly better-than-untrained behaviour on the easiest condition.
+  sim::WorldConfig wc;
+  sim::World world{wc, 2, 1};
+  data::WeightedDataset ds{wc.bev};
+  for (std::uint64_t f = 0; f < 700; ++f) {
+    world.step(0.5);
+    ds.add(world.collect_sample(0, f));
+    ds.add(world.collect_sample(1, (1ull << 32) | f));
+  }
+  nn::DrivingPolicy model;
+  nn::Adam opt{1e-3};
+  Rng rng{13};
+  for (int step = 0; step < 600; ++step) {
+    const auto idx = ds.sample_batch(rng, 32);
+    std::vector<const data::Sample*> batch;
+    for (const auto i : idx) batch.push_back(&ds[i]);
+    model.train_batch(batch, opt);
+  }
+  EvalConfig cfg;
+  cfg.trials = 6;
+  const OnlineEvaluator ev{cfg};
+  const double trained = ev.success_rate(model, DrivingTask::kStraight);
+  const nn::DrivingPolicy untrained{{}, 17};
+  const double baseline = ev.success_rate(untrained, DrivingTask::kStraight);
+  EXPECT_GT(trained, baseline);
+  EXPECT_GE(trained, 0.5);
+}
+
+TEST(EvaluatorTest, SuccessRateBounds) {
+  EvalConfig cfg;
+  cfg.trials = 3;
+  const OnlineEvaluator ev{cfg};
+  const nn::DrivingPolicy model{{}, 19};
+  for (const auto task : kAllTasks) {
+    const double r = ev.success_rate(model, task);
+    EXPECT_GE(r, 0.0);
+    EXPECT_LE(r, 1.0);
+  }
+  EvalConfig none = cfg;
+  none.trials = 0;
+  EXPECT_DOUBLE_EQ(OnlineEvaluator{none}.success_rate(model, DrivingTask::kStraight), 0.0);
+}
+
+}  // namespace
+}  // namespace lbchat::eval

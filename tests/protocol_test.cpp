@@ -1,0 +1,136 @@
+// Protocol-level invariants across strategies: transfer accounting, session
+// bounds, and option behaviours not covered by the per-module suites.
+#include <gtest/gtest.h>
+
+#include "baselines/dfl_dds.h"
+#include "baselines/proxskip.h"
+#include "baselines/rsul.h"
+#include "core/lbchat.h"
+#include "engine/fleet.h"
+
+namespace lbchat {
+namespace {
+
+engine::ScenarioConfig proto_scenario() {
+  engine::ScenarioConfig cfg;
+  cfg.num_vehicles = 4;
+  cfg.collect_duration_s = 90.0;
+  cfg.duration_s = 200.0;
+  cfg.eval_interval_s = 100.0;
+  cfg.coreset_size = 40;
+  cfg.pair_cooldown_s = 30.0;
+  cfg.world.num_background_cars = 6;
+  cfg.world.num_pedestrians = 10;
+  return cfg;
+}
+
+TEST(ProtocolTest, CompletedTransfersDeliverBytes) {
+  engine::FleetSim sim{proto_scenario(), std::make_unique<core::LbChatStrategy>()};
+  const auto m = sim.run();
+  ASSERT_GT(m.transfers.coreset_sends_completed, 0);
+  // Each coreset is ~164 KB on the wire at |C|=40.
+  EXPECT_GT(m.transfers.bytes_delivered,
+            static_cast<std::uint64_t>(m.transfers.coreset_sends_completed) * 100000);
+}
+
+TEST(ProtocolTest, CompletionsNeverExceedStarts) {
+  for (const bool wireless : {false, true}) {
+    auto cfg = proto_scenario();
+    cfg.wireless_loss = wireless;
+    engine::FleetSim sim{cfg, std::make_unique<core::LbChatStrategy>()};
+    const auto m = sim.run();
+    EXPECT_LE(m.transfers.model_sends_completed, m.transfers.model_sends_started);
+    EXPECT_LE(m.transfers.coreset_sends_completed, m.transfers.coreset_sends_started);
+    EXPECT_LE(m.transfers.sessions_aborted, m.transfers.sessions_started);
+  }
+}
+
+TEST(ProtocolTest, NoWirelessLossMeansNearPerfectCoresetDelivery) {
+  auto cfg = proto_scenario();
+  cfg.wireless_loss = false;
+  engine::FleetSim sim{cfg, std::make_unique<core::LbChatStrategy>()};
+  const auto m = sim.run();
+  ASSERT_GT(m.transfers.coreset_sends_started, 0);
+  // Coresets are tiny (<1 s of airtime): without loss, only a contact that
+  // breaks within that second can kill one.
+  EXPECT_GE(static_cast<double>(m.transfers.coreset_sends_completed) /
+                m.transfers.coreset_sends_started,
+            0.9);
+}
+
+TEST(ProtocolTest, RsuExchangesBoundedByRevisitCooldown) {
+  auto cfg = proto_scenario();
+  baselines::RsuOptions opts;
+  opts.revisit_cooldown_s = 50.0;
+  engine::FleetSim sim{cfg, std::make_unique<baselines::RsuStrategy>(opts)};
+  const auto m = sim.run();
+  // Per vehicle, at most duration/cooldown visits (+1), each 2 sends.
+  const int max_visits = static_cast<int>(cfg.duration_s / opts.revisit_cooldown_s) + 1;
+  EXPECT_LE(m.transfers.model_sends_started, cfg.num_vehicles * max_visits * 2);
+}
+
+TEST(ProtocolTest, DflDdsSessionCountBoundedByRounds) {
+  auto cfg = proto_scenario();
+  engine::FleetSim sim{cfg, std::make_unique<baselines::DflDdsStrategy>()};
+  const auto m = sim.run();
+  const int rounds = static_cast<int>(cfg.duration_s / cfg.time_budget_s) + 1;
+  // At most floor(N/2) pairs per synchronous round.
+  EXPECT_LE(m.transfers.sessions_started, rounds * (cfg.num_vehicles / 2));
+}
+
+TEST(ProtocolTest, ProxSkipCommProbabilityScalesTraffic) {
+  auto cfg = proto_scenario();
+  cfg.wireless_loss = false;
+  baselines::ProxSkipOptions rare;
+  rare.comm_probability = 0.1;
+  baselines::ProxSkipOptions often;
+  often.comm_probability = 1.0;
+  engine::FleetSim a{cfg, std::make_unique<baselines::ProxSkipStrategy>(rare)};
+  engine::FleetSim b{cfg, std::make_unique<baselines::ProxSkipStrategy>(often)};
+  const auto ma = a.run();
+  const auto mb = b.run();
+  EXPECT_LT(ma.transfers.model_sends_started, mb.transfers.model_sends_started);
+}
+
+TEST(ProtocolTest, ProxSkipControlVariatesOptionStillLearns) {
+  auto cfg = proto_scenario();
+  cfg.duration_s = 240.0;
+  baselines::ProxSkipOptions opts;
+  opts.variate_scale = 0.05;
+  engine::FleetSim sim{cfg, std::make_unique<baselines::ProxSkipStrategy>(opts)};
+  const auto m = sim.run();
+  EXPECT_LT(m.loss_curve.values.back(), m.loss_curve.values.front());
+}
+
+TEST(ProtocolTest, LbChatSendsAssistInfoBeforeEveryChat) {
+  engine::FleetSim sim{proto_scenario(), std::make_unique<core::LbChatStrategy>()};
+  (void)sim.run();
+  // Every chat starts with two assist exchanges and two coreset sends, so
+  // coreset sends == 2 * sessions that reached the coreset stage.
+  const auto& st = sim.stats();
+  EXPECT_EQ(st.coreset_sends_started % 2, 0);
+  EXPECT_LE(st.coreset_sends_started, 2 * st.sessions_started);
+}
+
+TEST(ProtocolTest, WirelessTogglePreservesDataCollection) {
+  // Wireless loss must not leak into the data-collection phase: both runs
+  // collect identical local datasets (loss only affects exchanges).
+  auto cfg_a = proto_scenario();
+  cfg_a.wireless_loss = false;
+  auto cfg_b = proto_scenario();
+  cfg_b.wireless_loss = true;
+  engine::FleetSim a{cfg_a, std::make_unique<core::LbChatStrategy>()};
+  engine::FleetSim b{cfg_b, std::make_unique<core::LbChatStrategy>()};
+  (void)a.run();
+  (void)b.run();
+  // Initial collected frames (pre-absorption) match: compare validation sets,
+  // which never change after collection.
+  ASSERT_EQ(a.node(0).validation.size(), b.node(0).validation.size());
+  for (std::size_t i = 0; i < a.node(0).validation.size(); ++i) {
+    EXPECT_EQ(a.node(0).validation[i].id, b.node(0).validation[i].id);
+    EXPECT_EQ(a.node(0).validation[i].bev.cells, b.node(0).validation[i].bev.cells);
+  }
+}
+
+}  // namespace
+}  // namespace lbchat
