@@ -148,6 +148,11 @@ engine::ScenarioConfig default_scenario(bool wireless_loss) {
   cfg.collect_duration_s = 600.0;
   cfg.duration_s = 1800.0 * bench_scale();
   cfg.eval_interval_s = 100.0;
+  // Worker lanes for the fleet's per-vehicle loops. Bit-deterministic for
+  // any value, so it is not part of the cache fingerprint; default to all
+  // hardware threads, override with LBCHAT_THREADS=n.
+  const char* threads_env = std::getenv("LBCHAT_THREADS");
+  cfg.num_threads = threads_env != nullptr ? std::atoi(threads_env) : 0;
   return cfg;
 }
 

@@ -1,11 +1,20 @@
-// Micro-benchmarks for the wireless/network substrate and the driving world:
-// channel transfer ticks, contact estimation, BEV rendering, and the policy's
-// forward/backward pass.
-#include <benchmark/benchmark.h>
+// Micro-benchmarks for the NN compute kernels and the simulation substrate.
+//
+// Each NN op is timed twice — the retained naive scalar path and the
+// im2col+GEMM path — so the speedup the kernel rewrite buys is visible at a
+// glance and tracked across PRs: the results are also written to
+// BENCH_micro_net.json in the working directory as
+//   [{"op": ..., "us_per_iter": ..., "naive_us_per_iter": ..., "speedup": ...}]
+// (substrate rows carry no naive twin and no speedup).
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
 
+#include "data/dataset.h"
 #include "net/contact.h"
 #include "net/wireless.h"
-#include "data/dataset.h"
 #include "nn/optim.h"
 #include "nn/policy.h"
 #include "sim/world.h"
@@ -14,19 +23,173 @@ namespace {
 
 using namespace lbchat;
 
-void BM_TransferTick(benchmark::State& state) {
+/// Wall-clock microseconds per iteration of `fn`, self-calibrating the
+/// iteration count to roughly `target_ms` of total runtime.
+double us_per_iter(const std::function<void()>& fn, double target_ms = 200.0) {
+  using clock = std::chrono::steady_clock;
+  // Warm up and estimate a single-iteration cost.
+  fn();
+  auto t0 = clock::now();
+  fn();
+  const double probe_us =
+      std::chrono::duration<double, std::micro>(clock::now() - t0).count();
+  long iters = probe_us > 0.0 ? static_cast<long>(target_ms * 1000.0 / probe_us) : 1000;
+  iters = std::max(5L, std::min(iters, 2000000L));
+  t0 = clock::now();
+  for (long i = 0; i < iters; ++i) fn();
+  const double total_us =
+      std::chrono::duration<double, std::micro>(clock::now() - t0).count();
+  return total_us / static_cast<double>(iters);
+}
+
+struct Row {
+  std::string op;
+  double us = 0.0;        ///< GEMM / production path
+  double naive_us = -1.0;  ///< naive twin (< 0: not applicable)
+  [[nodiscard]] double speedup() const { return naive_us > 0.0 ? naive_us / us : 0.0; }
+};
+
+void print_rows(const std::vector<Row>& rows) {
+  std::printf("%-28s %12s %12s %9s\n", "op", "us/iter", "naive us", "speedup");
+  for (const auto& r : rows) {
+    if (r.naive_us > 0.0) {
+      std::printf("%-28s %12.2f %12.2f %8.2fx\n", r.op.c_str(), r.us, r.naive_us, r.speedup());
+    } else {
+      std::printf("%-28s %12.2f %12s %9s\n", r.op.c_str(), r.us, "-", "-");
+    }
+  }
+}
+
+void write_json(const std::vector<Row>& rows, const char* path) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "warning: could not open %s for writing\n", path);
+    return;
+  }
+  std::fprintf(f, "[\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    std::fprintf(f, "  {\"op\": \"%s\", \"us_per_iter\": %.3f", r.op.c_str(), r.us);
+    if (r.naive_us > 0.0) {
+      std::fprintf(f, ", \"naive_us_per_iter\": %.3f, \"speedup\": %.3f", r.naive_us,
+                   r.speedup());
+    }
+    std::fprintf(f, "}%s\n", i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "]\n");
+  std::fclose(f);
+  std::printf("\nwrote %s\n", path);
+}
+
+/// Deterministic float fill for benchmark inputs.
+void fill_random(std::vector<float>& v, Rng& rng) {
+  for (float& x : v) x = static_cast<float>(rng.normal());
+}
+
+std::vector<Row> bench_conv(int batch) {
+  nn::ParamStore store;
+  Rng init{7};
+  // conv1 of the default policy: 4->8ch 3x3 s2 p1 on 16x16.
+  nn::Conv2d conv{store, 4, 8, 16, 16, 3, 2, 1, init};
+  Rng data{8};
+  std::vector<float> x(static_cast<std::size_t>(batch) * conv.in_numel());
+  std::vector<float> y(static_cast<std::size_t>(batch) * conv.out_numel());
+  std::vector<float> gy(y.size());
+  std::vector<float> gx(x.size());
+  fill_random(x, data);
+  fill_random(gy, data);
+  std::vector<float> col, gcol;
+
+  std::vector<Row> rows;
+  const std::string suffix = " b" + std::to_string(batch);
+  rows.push_back({"conv2d_fwd" + suffix,
+                  us_per_iter([&] { conv.forward(store, x, y, batch, col); }),
+                  us_per_iter([&] { conv.naive_forward(store, x, y, batch); })});
+  rows.push_back(
+      {"conv2d_bwd" + suffix, us_per_iter([&] {
+         store.zero_grads();
+         std::fill(gx.begin(), gx.end(), 0.0f);
+         conv.backward(store, x, gy, gx, batch, col, gcol);
+       }),
+       us_per_iter([&] {
+         store.zero_grads();
+         std::fill(gx.begin(), gx.end(), 0.0f);
+         conv.naive_backward(store, x, gy, gx, batch);
+       })});
+  return rows;
+}
+
+std::vector<Row> bench_linear(int batch) {
+  nn::ParamStore store;
+  Rng init{9};
+  nn::Linear lin{store, 256, 64, init};  // the policy's fc layer
+  Rng data{10};
+  std::vector<float> x(static_cast<std::size_t>(batch) * 256);
+  std::vector<float> y(static_cast<std::size_t>(batch) * 64);
+  std::vector<float> gy(y.size());
+  std::vector<float> gx(x.size());
+  fill_random(x, data);
+  fill_random(gy, data);
+
+  std::vector<Row> rows;
+  const std::string suffix = " b" + std::to_string(batch);
+  rows.push_back({"linear_fwd" + suffix, us_per_iter([&] { lin.forward(store, x, y, batch); }),
+                  us_per_iter([&] { lin.naive_forward(store, x, y, batch); })});
+  rows.push_back({"linear_bwd" + suffix, us_per_iter([&] {
+                    store.zero_grads();
+                    std::fill(gx.begin(), gx.end(), 0.0f);
+                    lin.backward(store, x, gy, gx, batch);
+                  }),
+                  us_per_iter([&] {
+                    store.zero_grads();
+                    std::fill(gx.begin(), gx.end(), 0.0f);
+                    lin.naive_backward(store, x, gy, gx, batch);
+                  })});
+  return rows;
+}
+
+Row bench_policy_train() {
+  sim::World world{sim::WorldConfig{}, 1, 9};
+  data::WeightedDataset ds{data::kDefaultBevSpec};
+  for (std::size_t f = 0; f < 128; ++f) {
+    world.step(0.5);
+    ds.add(world.collect_sample(0, f));
+  }
+  nn::DrivingPolicy model;
+  nn::Adam opt{1e-3};
+  Rng rng{2};
+  return {"policy_train_batch32", us_per_iter([&] {
+            const auto idx = ds.sample_batch(rng, 32);
+            std::vector<const data::Sample*> batch;
+            for (const auto i : idx) batch.push_back(&ds[i]);
+            (void)model.train_batch(batch, opt);
+          })};
+}
+
+Row bench_policy_predict() {
+  sim::World world{sim::WorldConfig{}, 1, 9};
+  world.step(0.5);
+  const auto sample = world.collect_sample(0, 1);
+  nn::DrivingPolicy model;
+  volatile float sink = 0.0f;
+  return {"policy_predict", us_per_iter([&] {
+            const auto wp = model.predict(sample.bev, sample.command);
+            sink = sink + wp[0];
+          })};
+}
+
+Row bench_transfer_tick() {
   const net::RadioConfig radio;
   const auto loss = net::WirelessLossModel::default_table(radio.max_range_m);
   Rng rng{5};
   net::Transfer t{52ull * 1024 * 1024, radio};
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(t.tick(80.0, 0.5, loss, rng));
-    if (t.complete()) t = net::Transfer{52ull * 1024 * 1024, radio};
-  }
+  return {"transfer_tick", us_per_iter([&] {
+            (void)t.tick(80.0, 0.5, loss, rng);
+            if (t.complete()) t = net::Transfer{52ull * 1024 * 1024, radio};
+          })};
 }
-BENCHMARK(BM_TransferTick);
 
-void BM_ContactEstimate(benchmark::State& state) {
+Row bench_contact_estimate() {
   sim::World world{sim::WorldConfig{}, 2, 9};
   for (int i = 0; i < 40; ++i) world.step(0.5);
   const net::RadioConfig radio;
@@ -39,53 +202,38 @@ void BM_ContactEstimate(benchmark::State& state) {
   b.pos = world.vehicle(1).pos;
   b.speed = 9.0;
   b.route = &world.vehicle(1).route;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(net::estimate_contact(a, b, radio, loss));
-  }
+  volatile double sink = 0.0;
+  return {"contact_estimate", us_per_iter([&] {
+            sink = sink + net::estimate_contact(a, b, radio, loss).duration_s;
+          })};
 }
-BENCHMARK(BM_ContactEstimate);
 
-void BM_BevRender(benchmark::State& state) {
+Row bench_bev_render() {
   sim::World world{sim::WorldConfig{}, 4, 9};
   for (int i = 0; i < 40; ++i) world.step(0.5);
   const auto& v = world.vehicle(0);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(world.render_ego_bev(v.pos, v.heading, v.route, v.s, 0));
-  }
+  volatile int sink = 0;
+  return {"bev_render", us_per_iter([&] {
+            const auto bev = world.render_ego_bev(v.pos, v.heading, v.route, v.s, 0);
+            sink = sink + bev.cells[0];
+          })};
 }
-BENCHMARK(BM_BevRender);
-
-void BM_PolicyTrainBatch(benchmark::State& state) {
-  sim::World world{sim::WorldConfig{}, 1, 9};
-  data::WeightedDataset ds{data::kDefaultBevSpec};
-  for (std::size_t f = 0; f < 128; ++f) {
-    world.step(0.5);
-    ds.add(world.collect_sample(0, f));
-  }
-  nn::DrivingPolicy model;
-  nn::Adam opt{1e-3};
-  Rng rng{2};
-  for (auto _ : state) {
-    const auto idx = ds.sample_batch(rng, 32);
-    std::vector<const data::Sample*> batch;
-    for (const auto i : idx) batch.push_back(&ds[i]);
-    benchmark::DoNotOptimize(model.train_batch(batch, opt));
-  }
-  state.SetItemsProcessed(state.iterations() * 32);
-}
-BENCHMARK(BM_PolicyTrainBatch);
-
-void BM_PolicyPredict(benchmark::State& state) {
-  sim::World world{sim::WorldConfig{}, 1, 9};
-  world.step(0.5);
-  const auto sample = world.collect_sample(0, 1);
-  nn::DrivingPolicy model;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(model.predict(sample.bev, sample.command));
-  }
-}
-BENCHMARK(BM_PolicyPredict);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main() {
+  std::vector<Row> rows;
+  for (const int batch : {1, 32}) {
+    for (auto& r : bench_conv(batch)) rows.push_back(std::move(r));
+  }
+  for (auto& r : bench_linear(32)) rows.push_back(std::move(r));
+  rows.push_back(bench_policy_train());
+  rows.push_back(bench_policy_predict());
+  rows.push_back(bench_transfer_tick());
+  rows.push_back(bench_contact_estimate());
+  rows.push_back(bench_bev_render());
+
+  print_rows(rows);
+  write_json(rows, "BENCH_micro_net.json");
+  return 0;
+}

@@ -23,7 +23,11 @@ namespace {
 void usage() {
   std::fprintf(stderr,
                "usage: lbchat_sim_cli [--approach NAME] [--vehicles N] [--duration S]\n"
-               "                      [--coreset N] [--seed N] [--no-wireless-loss] [--eval]\n");
+               "                      [--coreset N] [--seed N] [--threads N]\n"
+               "                      [--no-wireless-loss] [--eval]\n"
+               "  --threads N   worker lanes for per-vehicle training/eval\n"
+               "                (0 = all hardware threads, 1 = sequential;\n"
+               "                results are bit-identical for any value)\n");
 }
 
 }  // namespace
@@ -56,6 +60,8 @@ int main(int argc, char** argv) {
       cfg.coreset_size = static_cast<std::size_t>(std::atoi(need_value("--coreset")));
     } else if (std::strcmp(argv[i], "--seed") == 0) {
       cfg.seed = static_cast<std::uint64_t>(std::atoll(need_value("--seed")));
+    } else if (std::strcmp(argv[i], "--threads") == 0) {
+      cfg.num_threads = std::atoi(need_value("--threads"));
     } else if (std::strcmp(argv[i], "--no-wireless-loss") == 0) {
       cfg.wireless_loss = false;
     } else if (std::strcmp(argv[i], "--eval") == 0) {
@@ -79,10 +85,16 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "need at least 2 vehicles and a positive duration\n");
     return 2;
   }
+  if (cfg.num_threads < 0) {
+    std::fprintf(stderr, "--threads must be >= 0\n");
+    return 2;
+  }
 
-  std::printf("approach=%s vehicles=%d duration=%.0fs coreset=%zu wireless_loss=%d seed=%llu\n",
-              approach_name.c_str(), cfg.num_vehicles, cfg.duration_s, cfg.coreset_size,
-              cfg.wireless_loss ? 1 : 0, static_cast<unsigned long long>(cfg.seed));
+  std::printf(
+      "approach=%s vehicles=%d duration=%.0fs coreset=%zu wireless_loss=%d seed=%llu "
+      "threads=%d\n",
+      approach_name.c_str(), cfg.num_vehicles, cfg.duration_s, cfg.coreset_size,
+      cfg.wireless_loss ? 1 : 0, static_cast<unsigned long long>(cfg.seed), cfg.num_threads);
 
   engine::FleetSim sim{cfg, baselines::make_strategy(approach)};
   const engine::RunMetrics m = sim.run();

@@ -15,6 +15,7 @@
 // prox/averaging — is reproduced faithfully.
 #pragma once
 
+#include <atomic>
 #include <vector>
 
 #include "engine/fleet.h"
@@ -40,7 +41,9 @@ class ProxSkipStrategy final : public engine::Strategy {
 
   ProxSkipOptions opts_;
   std::vector<std::vector<float>> variates_;  // h_v, parameter space
-  int trained_since_round_ = 0;
+  /// Atomic: local_train runs concurrently across vehicles; the round
+  /// boundary only needs the order-independent count.
+  std::atomic<int> trained_since_round_{0};
 };
 
 }  // namespace lbchat::baselines

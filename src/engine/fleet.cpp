@@ -34,18 +34,28 @@ FleetSim::FleetSim(const ScenarioConfig& cfg, std::unique_ptr<Strategy> strategy
       net_rng_(Rng{cfg.seed}.fork("net")),
       infra_rng_(Rng{cfg.seed}.fork("infra")) {
   if (strategy_ == nullptr) throw std::invalid_argument{"FleetSim: null strategy"};
-  nodes_.reserve(static_cast<std::size_t>(cfg.num_vehicles));
-  for (int v = 0; v < cfg.num_vehicles; ++v) {
+  if (cfg.num_threads != 1) pool_ = std::make_unique<ThreadPool>(cfg.num_threads);
+  nodes_.resize(static_cast<std::size_t>(cfg.num_vehicles));
+  for_each_vehicle([this](std::int64_t v) {
     // Identical model initialization across vehicles (paper §II-A assumes
     // the same initialization), but per-vehicle RNG streams for sampling.
     auto node = std::make_unique<VehicleNode>(
-        v, cfg.policy, cfg.seed ^ 0xA11CEull,
-        Rng{cfg.seed}.fork(hash_name("vehicle") + static_cast<std::uint64_t>(v)));
-    node->opt = std::make_unique<nn::Adam>(cfg.learning_rate);
-    node->dataset = data::WeightedDataset{cfg.policy.bev};
-    nodes_.push_back(std::move(node));
-  }
+        static_cast<int>(v), cfg_.policy, cfg_.seed ^ 0xA11CEull,
+        Rng{cfg_.seed}.fork(hash_name("vehicle") + static_cast<std::uint64_t>(v)));
+    node->opt = std::make_unique<nn::Adam>(cfg_.learning_rate);
+    node->dataset = data::WeightedDataset{cfg_.policy.bev};
+    nodes_[static_cast<std::size_t>(v)] = std::move(node);
+  });
   busy_.assign(static_cast<std::size_t>(cfg.num_vehicles), nullptr);
+}
+
+void FleetSim::for_each_vehicle(const std::function<void(std::int64_t)>& fn) const {
+  const auto n = static_cast<std::int64_t>(nodes_.size());
+  if (pool_ != nullptr) {
+    pool_->parallel_for(0, n, fn);
+  } else {
+    for (std::int64_t v = 0; v < n; ++v) fn(v);
+  }
 }
 
 FleetSim::~FleetSim() = default;
@@ -262,8 +272,15 @@ double FleetSim::default_local_train(int v) {
 
 double FleetSim::mean_eval_loss() const {
   if (eval_set_.empty() || nodes_.empty()) return 0.0;
+  // Per-vehicle losses land in an index-addressed slot and are reduced
+  // sequentially afterwards, so the sum is bit-identical for any lane count.
+  std::vector<double> losses(nodes_.size(), 0.0);
+  for_each_vehicle([&](std::int64_t v) {
+    losses[static_cast<std::size_t>(v)] =
+        nodes_[static_cast<std::size_t>(v)]->model.weighted_loss(eval_set_);
+  });
   double sum = 0.0;
-  for (const auto& n : nodes_) sum += n->model.weighted_loss(eval_set_);
+  for (const double l : losses) sum += l;
   return sum / static_cast<double>(nodes_.size());
 }
 
@@ -279,7 +296,12 @@ RunMetrics FleetSim::run() {
     world_.step(cfg_.tick_s);
     time_ += cfg_.tick_s;
     if (time_ >= next_train) {
-      for (int v = 0; v < num_vehicles(); ++v) strategy_->local_train(*this, v);
+      if (strategy_->parallel_local_train()) {
+        for_each_vehicle(
+            [this](std::int64_t v) { strategy_->local_train(*this, static_cast<int>(v)); });
+      } else {
+        for (int v = 0; v < num_vehicles(); ++v) strategy_->local_train(*this, v);
+      }
       next_train += cfg_.train_interval_s;
     }
     strategy_->on_tick(*this);
@@ -293,7 +315,7 @@ RunMetrics FleetSim::run() {
     metrics.loss_curve.add(cfg_.duration_s, mean_eval_loss());
   }
   metrics.transfers = stats_;
-  metrics.train_steps = train_steps_;
+  metrics.train_steps = train_steps_.load();
   metrics.final_params.reserve(nodes_.size());
   for (const auto& n : nodes_) {
     metrics.final_params.emplace_back(n->model.params().begin(), n->model.params().end());

@@ -9,8 +9,10 @@
 // "successful model receiving rate" metric (§IV-C).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <limits>
 #include <memory>
 #include <optional>
@@ -18,6 +20,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "data/dataset.h"
 #include "engine/metrics.h"
 #include "engine/scenario.h"
@@ -102,7 +105,17 @@ class Strategy {
   virtual void setup(FleetSim& sim) { (void)sim; }
   /// One local training step for vehicle `v` (default: one weighted
   /// minibatch through the vehicle's optimizer).
+  ///
+  /// Contract for the parallel training loop: when parallel_local_train()
+  /// is true (the default), local_train(sim, v) calls for distinct `v` may
+  /// run concurrently on the engine's thread pool, so the body must only
+  /// touch vehicle-v state (its VehicleNode: model, optimizer, dataset,
+  /// Rng) plus atomics/engine counters that commute. Override
+  /// parallel_local_train() to return false to force the sequential loop.
   virtual void local_train(FleetSim& sim, int v);
+  /// Whether local_train calls for distinct vehicles are safe to run
+  /// concurrently (see the contract above).
+  [[nodiscard]] virtual bool parallel_local_train() const { return true; }
   /// Called every engine tick: initiate encounters, run round logic, etc.
   virtual void on_tick(FleetSim& sim) = 0;
 
@@ -185,6 +198,9 @@ class FleetSim {
   void tick_sessions(double dt);
   void reap_sessions();
   [[nodiscard]] double session_distance(const PairSession& s) const;
+  /// Run fn(v) for every vehicle, on the pool when one is configured.
+  /// Deterministic provided fn(v) only touches vehicle-v state.
+  void for_each_vehicle(const std::function<void(std::int64_t)>& fn) const;
 
   ScenarioConfig cfg_;
   net::WirelessLossModel loss_;
@@ -201,7 +217,13 @@ class FleetSim {
   Rng net_rng_;
   Rng infra_rng_;
   double time_ = 0.0;
-  long train_steps_ = 0;
+  /// Atomic: incremented from concurrent local_train lanes; the final count
+  /// is order-independent, so determinism is unaffected.
+  std::atomic<long> train_steps_{0};
+  /// Worker pool for per-vehicle loops (null when cfg.num_threads == 1).
+  /// Mutable: parallel dispatch from const evaluation paths mutates only
+  /// pool bookkeeping, not simulation state.
+  mutable std::unique_ptr<ThreadPool> pool_;
 };
 
 }  // namespace lbchat::engine

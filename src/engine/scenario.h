@@ -13,6 +13,11 @@ namespace lbchat::engine {
 struct ScenarioConfig {
   std::uint64_t seed = 1;
   int num_vehicles = 16;  ///< paper: 32 expert autopilots (scaled down)
+  /// Worker lanes for the per-vehicle training/eval loops: 0 = hardware
+  /// concurrency, 1 = sequential. Runs are bit-identical for any value
+  /// (every vehicle owns its Rng/ParamStore), so this is a pure wall-clock
+  /// knob and is deliberately excluded from the bench cache fingerprint.
+  int num_threads = 1;
 
   sim::WorldConfig world{};
   net::RadioConfig radio{};

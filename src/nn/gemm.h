@@ -1,0 +1,40 @@
+// Register-blocked single-precision GEMM kernels for the NN hot path.
+//
+// All matrices are dense row-major and every kernel *accumulates* into C
+// (C += ...), matching how backward passes sum gradients over a batch. Three
+// transpose variants cover everything the layers need:
+//
+//   sgemm      C[M,N] += A[M,K]  · B[K,N]    (conv forward, linear input grad)
+//   sgemm_atb  C[M,N] += A[K,M]ᵀ · B[K,N]    (weight grads, conv input grad)
+//   sgemm_abt  C[M,N] += A[M,K]  · B[N,K]ᵀ   (linear forward, conv weight grad)
+//
+// The kernels are plain scalar C++ laid out so the compiler auto-vectorizes
+// them: the inner loop always walks contiguous memory in A, B and C, rows are
+// register-blocked four at a time to amortize loads, and the K dimension is
+// tiled in kBlock chunks so the streamed panels stay cache-resident. The
+// `naive_*` twins are the deliberately simple triple loops kept as parity
+// oracles for tests; they must produce the same result up to floating-point
+// reassociation.
+#pragma once
+
+namespace lbchat::nn {
+
+/// K-dimension tile size for the blocked kernels (floats; 64*4 B = one panel
+/// row fits comfortably in L1 alongside the C accumulator rows).
+inline constexpr int kGemmKBlock = 64;
+
+/// C[M,N] += A[M,K] · B[K,N].
+void sgemm(int m, int n, int k, const float* a, const float* b, float* c);
+
+/// C[M,N] += Aᵀ · B where A is stored [K,M] and B is [K,N].
+void sgemm_atb(int m, int n, int k, const float* a, const float* b, float* c);
+
+/// C[M,N] += A · Bᵀ where A is stored [M,K] and B is [N,K].
+void sgemm_abt(int m, int n, int k, const float* a, const float* b, float* c);
+
+/// Reference triple-loop implementations (parity oracles; slow).
+void naive_sgemm(int m, int n, int k, const float* a, const float* b, float* c);
+void naive_sgemm_atb(int m, int n, int k, const float* a, const float* b, float* c);
+void naive_sgemm_abt(int m, int n, int k, const float* a, const float* b, float* c);
+
+}  // namespace lbchat::nn

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "nn/gemm.h"
+
 namespace lbchat::nn {
 
 namespace {
@@ -11,6 +13,20 @@ namespace {
 void he_init(std::span<float> w, int fan_in, Rng& rng) {
   const double std = std::sqrt(2.0 / static_cast<double>(fan_in));
   for (float& v : w) v = static_cast<float>(rng.normal(0.0, std));
+}
+
+/// Smallest output coordinate whose receptive field starts inside the input:
+/// o*stride - pad + k >= 0, i.e. o >= (pad - k) / stride rounded up.
+inline int first_valid(int pad_minus_k, int stride) {
+  return pad_minus_k > 0 ? (pad_minus_k + stride - 1) / stride : 0;
+}
+
+/// One past the largest output coordinate still inside an input extent of
+/// `limit`: o*stride - pad + k <= limit-1.
+inline int last_valid(int limit, int pad_minus_k, int stride, int out_extent) {
+  const int num = limit - 1 + pad_minus_k;
+  if (num < 0) return 0;
+  return std::min(out_extent, num / stride + 1);
 }
 
 }  // namespace
@@ -28,6 +44,33 @@ void Linear::forward(const ParamStore& store, std::span<const float> x, std::spa
                      int batch) const {
   const auto w = store.param(w_off, static_cast<std::size_t>(in) * out);
   const auto b = store.param(b_off, static_cast<std::size_t>(out));
+  // y = b (broadcast), then y += x · Wᵀ.
+  for (int n = 0; n < batch; ++n) {
+    float* yn = y.data() + static_cast<std::size_t>(n) * out;
+    for (int o = 0; o < out; ++o) yn[o] = b[static_cast<std::size_t>(o)];
+  }
+  sgemm_abt(batch, out, in, x.data(), w.data(), y.data());
+}
+
+void Linear::backward(ParamStore& store, std::span<const float> x, std::span<const float> gy,
+                      std::span<float> gx, int batch) const {
+  const auto w = store.param(w_off, static_cast<std::size_t>(in) * out);
+  auto gw = store.grad(w_off, static_cast<std::size_t>(in) * out);
+  auto gb = store.grad(b_off, static_cast<std::size_t>(out));
+  for (int n = 0; n < batch; ++n) {
+    const float* gyn = gy.data() + static_cast<std::size_t>(n) * out;
+    for (int o = 0; o < out; ++o) gb[static_cast<std::size_t>(o)] += gyn[o];
+  }
+  // gW [out,in] += gyᵀ [out,B] · x [B,in].
+  sgemm_atb(out, in, batch, gy.data(), x.data(), gw.data());
+  // gx [B,in] += gy [B,out] · W [out,in].
+  if (!gx.empty()) sgemm(batch, in, out, gy.data(), w.data(), gx.data());
+}
+
+void Linear::naive_forward(const ParamStore& store, std::span<const float> x, std::span<float> y,
+                           int batch) const {
+  const auto w = store.param(w_off, static_cast<std::size_t>(in) * out);
+  const auto b = store.param(b_off, static_cast<std::size_t>(out));
   for (int n = 0; n < batch; ++n) {
     const float* xn = x.data() + static_cast<std::size_t>(n) * in;
     float* yn = y.data() + static_cast<std::size_t>(n) * out;
@@ -40,8 +83,8 @@ void Linear::forward(const ParamStore& store, std::span<const float> x, std::spa
   }
 }
 
-void Linear::backward(ParamStore& store, std::span<const float> x, std::span<const float> gy,
-                      std::span<float> gx, int batch) const {
+void Linear::naive_backward(ParamStore& store, std::span<const float> x,
+                            std::span<const float> gy, std::span<float> gx, int batch) const {
   const auto w = store.param(w_off, static_cast<std::size_t>(in) * out);
   auto gw = store.grad(w_off, static_cast<std::size_t>(in) * out);
   auto gb = store.grad(b_off, static_cast<std::size_t>(out));
@@ -60,7 +103,7 @@ void Linear::backward(ParamStore& store, std::span<const float> x, std::span<con
       for (int i = 0; i < in; ++i) {
         float acc = 0.0f;
         for (int o = 0; o < out; ++o) {
-          acc += gy[static_cast<std::size_t>(n) * out + o] * w[static_cast<std::size_t>(o) * in + i];
+          acc += gyn[o] * w[static_cast<std::size_t>(o) * in + i];
         }
         gxn[i] += acc;
       }
@@ -89,8 +132,133 @@ Conv2d::Conv2d(ParamStore& store, int in_channels, int out_channels, int in_heig
   he_init(store.param(w_off, wn), in_ch * kernel * kernel, init);
 }
 
+void Conv2d::im2col(const float* x, float* col) const {
+  const std::size_t out_plane = static_cast<std::size_t>(out_h) * out_w;
+  const std::size_t in_plane = static_cast<std::size_t>(in_h) * in_w;
+  float* dst = col;
+  for (int ic = 0; ic < in_ch; ++ic) {
+    const float* xp = x + static_cast<std::size_t>(ic) * in_plane;
+    for (int kr = 0; kr < kernel; ++kr) {
+      const int r_lo = first_valid(pad - kr, stride);
+      const int r_hi = last_valid(in_h, pad - kr, stride, out_h);
+      for (int kc = 0; kc < kernel; ++kc) {
+        const int c_lo = first_valid(pad - kc, stride);
+        const int c_hi = last_valid(in_w, pad - kc, stride, out_w);
+        std::fill(dst, dst + out_plane, 0.0f);
+        for (int r = r_lo; r < r_hi; ++r) {
+          const int ri = r * stride - pad + kr;
+          const float* src = xp + static_cast<std::size_t>(ri) * in_w + (c_lo * stride - pad + kc);
+          float* drow = dst + static_cast<std::size_t>(r) * out_w + c_lo;
+          const int span = c_hi - c_lo;
+          if (stride == 1) {
+            for (int c = 0; c < span; ++c) drow[c] = src[c];
+          } else {
+            for (int c = 0; c < span; ++c) drow[c] = src[static_cast<std::size_t>(c) * stride];
+          }
+        }
+        dst += out_plane;
+      }
+    }
+  }
+}
+
+void Conv2d::col2im(const float* col, float* gx) const {
+  const std::size_t out_plane = static_cast<std::size_t>(out_h) * out_w;
+  const std::size_t in_plane = static_cast<std::size_t>(in_h) * in_w;
+  const float* src_row = col;
+  for (int ic = 0; ic < in_ch; ++ic) {
+    float* gxp = gx + static_cast<std::size_t>(ic) * in_plane;
+    for (int kr = 0; kr < kernel; ++kr) {
+      const int r_lo = first_valid(pad - kr, stride);
+      const int r_hi = last_valid(in_h, pad - kr, stride, out_h);
+      for (int kc = 0; kc < kernel; ++kc) {
+        const int c_lo = first_valid(pad - kc, stride);
+        const int c_hi = last_valid(in_w, pad - kc, stride, out_w);
+        for (int r = r_lo; r < r_hi; ++r) {
+          const int ri = r * stride - pad + kr;
+          float* dst = gxp + static_cast<std::size_t>(ri) * in_w + (c_lo * stride - pad + kc);
+          const float* srow = src_row + static_cast<std::size_t>(r) * out_w + c_lo;
+          const int span = c_hi - c_lo;
+          if (stride == 1) {
+            for (int c = 0; c < span; ++c) dst[c] += srow[c];
+          } else {
+            for (int c = 0; c < span; ++c) dst[static_cast<std::size_t>(c) * stride] += srow[c];
+          }
+        }
+        src_row += out_plane;
+      }
+    }
+  }
+}
+
 void Conv2d::forward(const ParamStore& store, std::span<const float> x, std::span<float> y,
                      int batch) const {
+  thread_local std::vector<float> col;
+  forward(store, x, y, batch, col);
+}
+
+void Conv2d::forward(const ParamStore& store, std::span<const float> x, std::span<float> y,
+                     int batch, std::vector<float>& col_scratch) const {
+  const auto w = store.param(w_off, static_cast<std::size_t>(out_ch) * in_ch * kernel * kernel);
+  const auto b = store.param(b_off, static_cast<std::size_t>(out_ch));
+  const int kdim = col_rows();
+  const std::size_t out_plane = static_cast<std::size_t>(out_h) * out_w;
+  col_scratch.resize(static_cast<std::size_t>(kdim) * out_plane);
+  for (int n = 0; n < batch; ++n) {
+    const float* xn = x.data() + static_cast<std::size_t>(n) * in_numel();
+    float* yn = y.data() + static_cast<std::size_t>(n) * out_numel();
+    im2col(xn, col_scratch.data());
+    for (int oc = 0; oc < out_ch; ++oc) {
+      float* yp = yn + static_cast<std::size_t>(oc) * out_plane;
+      const float bias = b[static_cast<std::size_t>(oc)];
+      for (std::size_t i = 0; i < out_plane; ++i) yp[i] = bias;
+    }
+    // y_n [out_ch, out_plane] += W [out_ch, kdim] · col [kdim, out_plane].
+    sgemm(out_ch, static_cast<int>(out_plane), kdim, w.data(), col_scratch.data(), yn);
+  }
+}
+
+void Conv2d::backward(ParamStore& store, std::span<const float> x, std::span<const float> gy,
+                      std::span<float> gx, int batch) const {
+  thread_local std::vector<float> col;
+  thread_local std::vector<float> gcol;
+  backward(store, x, gy, gx, batch, col, gcol);
+}
+
+void Conv2d::backward(ParamStore& store, std::span<const float> x, std::span<const float> gy,
+                      std::span<float> gx, int batch, std::vector<float>& col_scratch,
+                      std::vector<float>& gcol_scratch) const {
+  const auto w = store.param(w_off, static_cast<std::size_t>(out_ch) * in_ch * kernel * kernel);
+  auto gw = store.grad(w_off, static_cast<std::size_t>(out_ch) * in_ch * kernel * kernel);
+  auto gb = store.grad(b_off, static_cast<std::size_t>(out_ch));
+  const int kdim = col_rows();
+  const std::size_t out_plane = static_cast<std::size_t>(out_h) * out_w;
+  const bool need_gx = !gx.empty();
+  col_scratch.resize(static_cast<std::size_t>(kdim) * out_plane);
+  if (need_gx) gcol_scratch.resize(static_cast<std::size_t>(kdim) * out_plane);
+  for (int n = 0; n < batch; ++n) {
+    const float* xn = x.data() + static_cast<std::size_t>(n) * in_numel();
+    const float* gyn = gy.data() + static_cast<std::size_t>(n) * out_numel();
+    im2col(xn, col_scratch.data());
+    for (int oc = 0; oc < out_ch; ++oc) {
+      const float* gyp = gyn + static_cast<std::size_t>(oc) * out_plane;
+      float acc = 0.0f;
+      for (std::size_t i = 0; i < out_plane; ++i) acc += gyp[i];
+      gb[static_cast<std::size_t>(oc)] += acc;
+    }
+    // gW [out_ch, kdim] += gy_n [out_ch, out_plane] · colᵀ.
+    sgemm_abt(out_ch, kdim, static_cast<int>(out_plane), gyn, col_scratch.data(), gw.data());
+    if (need_gx) {
+      // gcol [kdim, out_plane] = Wᵀ · gy_n, then fold back onto gx_n.
+      std::fill(gcol_scratch.begin(), gcol_scratch.end(), 0.0f);
+      sgemm_atb(kdim, static_cast<int>(out_plane), out_ch, w.data(), gyn, gcol_scratch.data());
+      col2im(gcol_scratch.data(), gx.data() + static_cast<std::size_t>(n) * in_numel());
+    }
+  }
+}
+
+void Conv2d::naive_forward(const ParamStore& store, std::span<const float> x, std::span<float> y,
+                           int batch) const {
   const auto w = store.param(w_off, static_cast<std::size_t>(out_ch) * in_ch * kernel * kernel);
   const auto b = store.param(b_off, static_cast<std::size_t>(out_ch));
   const std::size_t in_plane = static_cast<std::size_t>(in_h) * in_w;
@@ -128,8 +296,8 @@ void Conv2d::forward(const ParamStore& store, std::span<const float> x, std::spa
   }
 }
 
-void Conv2d::backward(ParamStore& store, std::span<const float> x, std::span<const float> gy,
-                      std::span<float> gx, int batch) const {
+void Conv2d::naive_backward(ParamStore& store, std::span<const float> x,
+                            std::span<const float> gy, std::span<float> gx, int batch) const {
   const auto w = store.param(w_off, static_cast<std::size_t>(out_ch) * in_ch * kernel * kernel);
   auto gw = store.grad(w_off, static_cast<std::size_t>(out_ch) * in_ch * kernel * kernel);
   auto gb = store.grad(b_off, static_cast<std::size_t>(out_ch));

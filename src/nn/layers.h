@@ -53,6 +53,10 @@ class ParamStore {
 };
 
 /// Fully-connected layer descriptor: y = x W^T + b, W is [out, in].
+///
+/// forward/backward run through the blocked SGEMM kernels (nn/gemm.h); the
+/// naive_* twins keep the original scalar loops as the parity oracle for
+/// tests. Both pairs compute the same math up to float reassociation.
 struct Linear {
   int in = 0;
   int out = 0;
@@ -66,9 +70,15 @@ struct Linear {
   void forward(const ParamStore& store, std::span<const float> x, std::span<float> y,
                int batch) const;
   /// Accumulates parameter grads into the store; gx may be empty to skip
-  /// input-gradient computation (first layer).
+  /// input-gradient computation (first layer). gx is accumulated (+=).
   void backward(ParamStore& store, std::span<const float> x, std::span<const float> gy,
                 std::span<float> gx, int batch) const;
+
+  /// Reference scalar implementations (slow; parity oracle).
+  void naive_forward(const ParamStore& store, std::span<const float> x, std::span<float> y,
+                     int batch) const;
+  void naive_backward(ParamStore& store, std::span<const float> x, std::span<const float> gy,
+                      std::span<float> gx, int batch) const;
 };
 
 /// 2-D convolution descriptor (square kernel, zero padding).
@@ -91,10 +101,35 @@ struct Conv2d {
   }
 
   /// x: [B, in_ch, in_h, in_w], y: [B, out_ch, out_h, out_w].
+  ///
+  /// The two-argument-scratch overloads run im2col + GEMM using the
+  /// caller-owned buffers (resized as needed, so repeat calls never
+  /// allocate); the short forms fall back to thread-local scratch.
   void forward(const ParamStore& store, std::span<const float> x, std::span<float> y,
                int batch) const;
+  void forward(const ParamStore& store, std::span<const float> x, std::span<float> y, int batch,
+               std::vector<float>& col_scratch) const;
+  /// gx (when non-empty) is accumulated (+=), param grads always accumulate.
   void backward(ParamStore& store, std::span<const float> x, std::span<const float> gy,
                 std::span<float> gx, int batch) const;
+  void backward(ParamStore& store, std::span<const float> x, std::span<const float> gy,
+                std::span<float> gx, int batch, std::vector<float>& col_scratch,
+                std::vector<float>& gcol_scratch) const;
+
+  /// Reference direct-convolution implementations (slow; parity oracle).
+  void naive_forward(const ParamStore& store, std::span<const float> x, std::span<float> y,
+                     int batch) const;
+  void naive_backward(ParamStore& store, std::span<const float> x, std::span<const float> gy,
+                      std::span<float> gx, int batch) const;
+
+  /// Rows of the im2col matrix (= in_ch * kernel * kernel).
+  [[nodiscard]] int col_rows() const { return in_ch * kernel * kernel; }
+
+ private:
+  /// Unfold one sample [in_ch, in_h, in_w] into col [col_rows, out_h*out_w].
+  void im2col(const float* x, float* col) const;
+  /// Fold col-shaped gradients back onto one sample's gx (accumulating).
+  void col2im(const float* col, float* gx) const;
 };
 
 /// y = max(x, 0), in place.

@@ -20,6 +20,9 @@ struct DrivingPolicy::Workspace {
   std::vector<float> out;      // [B, out_dim]
   // gradients (same shapes)
   std::vector<float> g_out, g_bh, g_h, g_a2, g_a1;
+  // im2col scratch shared by both conv layers (resized to the larger need
+  // once, then reused — no per-call allocation on the training hot path)
+  std::vector<float> col, gcol;
 };
 
 DrivingPolicy::DrivingPolicy(const PolicyConfig& cfg, std::uint64_t init_seed) : cfg_(cfg) {
@@ -67,9 +70,9 @@ void DrivingPolicy::forward(const float* x, std::span<const Command> cmds, int b
   ws.bh.assign(static_cast<std::size_t>(batch) * cfg_.branch_hidden, 0.0f);
   ws.out.assign(static_cast<std::size_t>(batch) * out_dim, 0.0f);
 
-  conv1_.forward(store_, ws.x, ws.a1, batch);
+  conv1_.forward(store_, ws.x, ws.a1, batch, ws.col);
   relu_forward(ws.a1);
-  conv2_.forward(store_, ws.a1, ws.a2, batch);
+  conv2_.forward(store_, ws.a1, ws.a2, batch, ws.col);
   relu_forward(ws.a2);
   fc_.forward(store_, ws.a2, ws.h, batch);
   relu_forward(ws.h);
@@ -191,9 +194,9 @@ double DrivingPolicy::compute_batch_gradient(std::span<const data::Sample* const
   relu_backward(ws.h, ws.g_h);
   fc_.backward(store_, ws.a2, ws.g_h, ws.g_a2, B);
   relu_backward(ws.a2, ws.g_a2);
-  conv2_.backward(store_, ws.a1, ws.g_a2, ws.g_a1, B);
+  conv2_.backward(store_, ws.a1, ws.g_a2, ws.g_a1, B, ws.col, ws.gcol);
   relu_backward(ws.a1, ws.g_a1);
-  conv1_.backward(store_, ws.x, ws.g_a1, /*gx=*/{}, B);
+  conv1_.backward(store_, ws.x, ws.g_a1, /*gx=*/{}, B, ws.col, ws.gcol);
   return loss;
 }
 

@@ -1,14 +1,17 @@
 // Unit tests for src/common: geometry, RNG streams, Akima interpolation,
-// statistics helpers, and time series.
+// statistics helpers, time series, and the thread pool.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
 #include <numeric>
+#include <stdexcept>
 
 #include "common/geometry.h"
 #include "common/interpolation.h"
 #include "common/rng.h"
 #include "common/stats.h"
+#include "common/thread_pool.h"
 
 namespace lbchat {
 namespace {
@@ -335,6 +338,62 @@ TEST(TimeSeriesTest, FirstTimeBelow) {
   EXPECT_DOUBLE_EQ(ts.first_time_below(0.5), 20.0);
   EXPECT_DOUBLE_EQ(ts.first_time_below(1.0), 0.0);
   EXPECT_LT(ts.first_time_below(0.1), 0.0);  // never reached
+}
+
+// ---------------------------------------------------------------- thread pool
+
+TEST(ThreadPoolTest, ResolveNumThreads) {
+  EXPECT_GE(ThreadPool::resolve_num_threads(0), 1);
+  EXPECT_EQ(ThreadPool::resolve_num_threads(1), 1);
+  EXPECT_EQ(ThreadPool::resolve_num_threads(7), 7);
+}
+
+TEST(ThreadPoolTest, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool{4};
+  EXPECT_EQ(pool.size(), 4);
+  std::vector<int> hits(1000, 0);
+  pool.parallel_for(0, static_cast<std::int64_t>(hits.size()),
+                    [&](std::int64_t i) { ++hits[static_cast<std::size_t>(i)]; });
+  for (const int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ThreadPoolTest, NonZeroBeginAndEmptyRange) {
+  ThreadPool pool{3};
+  std::vector<int> hits(10, 0);
+  pool.parallel_for(4, 8, [&](std::int64_t i) { ++hits[static_cast<std::size_t>(i)]; });
+  for (std::size_t i = 0; i < hits.size(); ++i) EXPECT_EQ(hits[i], i >= 4 && i < 8 ? 1 : 0);
+  pool.parallel_for(5, 5, [&](std::int64_t) { FAIL() << "empty range must not invoke fn"; });
+  pool.parallel_for(6, 2, [&](std::int64_t) { FAIL() << "inverted range must not invoke fn"; });
+}
+
+TEST(ThreadPoolTest, SequentialPoolRunsInline) {
+  ThreadPool pool{1};
+  EXPECT_EQ(pool.size(), 1);
+  int sum = 0;
+  pool.parallel_for(0, 5, [&](std::int64_t i) { sum += static_cast<int>(i); });
+  EXPECT_EQ(sum, 10);
+}
+
+TEST(ThreadPoolTest, ReusableAcrossJobs) {
+  ThreadPool pool{4};
+  std::atomic<long> total{0};
+  for (int round = 0; round < 50; ++round) {
+    pool.parallel_for(0, 37, [&](std::int64_t i) { total += i; });
+  }
+  EXPECT_EQ(total.load(), 50L * (36 * 37 / 2));
+}
+
+TEST(ThreadPoolTest, RethrowsFirstException) {
+  ThreadPool pool{4};
+  EXPECT_THROW(pool.parallel_for(0, 100,
+                                 [](std::int64_t i) {
+                                   if (i == 42) throw std::runtime_error{"boom"};
+                                 }),
+               std::runtime_error);
+  // The pool stays usable after an exception.
+  std::atomic<int> count{0};
+  pool.parallel_for(0, 10, [&](std::int64_t) { ++count; });
+  EXPECT_EQ(count.load(), 10);
 }
 
 }  // namespace

@@ -137,6 +137,30 @@ TEST(FleetSimTest, DeterministicAcrossRuns) {
   EXPECT_EQ(ma.final_params[0], mb.final_params[0]);
 }
 
+TEST(FleetSimTest, BitDeterministicAcrossThreadCounts) {
+  // Every vehicle owns its Rng/ParamStore/optimizer, so a pooled run must be
+  // bit-identical to the sequential one — not merely statistically close.
+  auto cfg = tiny_scenario();
+  cfg.num_threads = 1;
+  FleetSim seq{cfg, std::make_unique<LocalOnlyStrategy>()};
+  const RunMetrics ms = seq.run();
+  cfg.num_threads = 4;
+  FleetSim par{cfg, std::make_unique<LocalOnlyStrategy>()};
+  const RunMetrics mp = par.run();
+
+  EXPECT_EQ(ms.train_steps, mp.train_steps);
+  ASSERT_EQ(ms.loss_curve.size(), mp.loss_curve.size());
+  for (std::size_t i = 0; i < ms.loss_curve.size(); ++i) {
+    EXPECT_EQ(ms.loss_curve.times[i], mp.loss_curve.times[i]);
+    EXPECT_EQ(ms.loss_curve.values[i], mp.loss_curve.values[i]) << "eval point " << i;
+  }
+  ASSERT_EQ(ms.final_params.size(), mp.final_params.size());
+  for (std::size_t v = 0; v < ms.final_params.size(); ++v) {
+    EXPECT_EQ(ms.final_params[v], mp.final_params[v]) << "vehicle " << v;
+  }
+  EXPECT_EQ(ms.transfers.bytes_delivered, mp.transfers.bytes_delivered);
+}
+
 TEST(FleetSimTest, ScriptedTransferCompletes) {
   auto cfg = tiny_scenario();
   cfg.duration_s = 120.0;

@@ -1,10 +1,13 @@
 // Unit tests for the neural-network library: layer forward math, gradient
-// checks against finite differences, optimizers, and the driving policy.
+// checks against finite differences, GEMM-vs-naive parity, optimizers, and
+// the driving policy.
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <vector>
 
 #include "data/frame.h"
+#include "nn/gemm.h"
 #include "nn/layers.h"
 #include "nn/optim.h"
 #include "nn/policy.h"
@@ -161,6 +164,135 @@ TEST(Conv2dTest, GradientMatchesFiniteDifferences) {
     const double jm = objective(x);
     store.params()[conv.w_off + i] = orig;
     EXPECT_NEAR(store.grads()[conv.w_off + i], (jp - jm) / (2.0 * eps), 2e-2);
+  }
+}
+
+// -------------------------------------------------- GEMM / naive parity
+
+float max_abs_diff(std::span<const float> a, std::span<const float> b) {
+  EXPECT_EQ(a.size(), b.size());
+  float m = 0.0f;
+  for (std::size_t i = 0; i < a.size(); ++i) m = std::max(m, std::abs(a[i] - b[i]));
+  return m;
+}
+
+std::vector<float> random_vec(std::size_t n, Rng& rng) {
+  std::vector<float> v(n);
+  for (float& x : v) x = static_cast<float>(rng.normal());
+  return v;
+}
+
+TEST(GemmTest, BlockedKernelsMatchNaive) {
+  Rng rng{101};
+  // Shapes straddling the 4-row register block and the kGemmKBlock K tile.
+  const int shapes[][3] = {{1, 1, 1},   {3, 5, 7},    {4, 4, 64},
+                           {8, 64, 36}, {17, 9, 129}, {5, 33, 70}};
+  for (const auto& s : shapes) {
+    const int m = s[0], n = s[1], k = s[2];
+    const auto base = random_vec(static_cast<std::size_t>(m) * n, rng);
+    {
+      const auto a = random_vec(static_cast<std::size_t>(m) * k, rng);
+      const auto b = random_vec(static_cast<std::size_t>(k) * n, rng);
+      auto c0 = base, c1 = base;
+      naive_sgemm(m, n, k, a.data(), b.data(), c0.data());
+      sgemm(m, n, k, a.data(), b.data(), c1.data());
+      EXPECT_LE(max_abs_diff(c0, c1), 1e-4f) << "sgemm " << m << "x" << n << "x" << k;
+    }
+    {
+      const auto a = random_vec(static_cast<std::size_t>(k) * m, rng);
+      const auto b = random_vec(static_cast<std::size_t>(k) * n, rng);
+      auto c0 = base, c1 = base;
+      naive_sgemm_atb(m, n, k, a.data(), b.data(), c0.data());
+      sgemm_atb(m, n, k, a.data(), b.data(), c1.data());
+      EXPECT_LE(max_abs_diff(c0, c1), 1e-4f) << "sgemm_atb " << m << "x" << n << "x" << k;
+    }
+    {
+      const auto a = random_vec(static_cast<std::size_t>(m) * k, rng);
+      const auto b = random_vec(static_cast<std::size_t>(n) * k, rng);
+      auto c0 = base, c1 = base;
+      naive_sgemm_abt(m, n, k, a.data(), b.data(), c0.data());
+      sgemm_abt(m, n, k, a.data(), b.data(), c1.data());
+      EXPECT_LE(max_abs_diff(c0, c1), 1e-4f) << "sgemm_abt " << m << "x" << n << "x" << k;
+    }
+  }
+}
+
+struct ConvShape {
+  int in_ch, out_ch, in_h, in_w, kernel, stride, pad, batch;
+};
+
+class Conv2dParityTest : public ::testing::TestWithParam<ConvShape> {};
+
+TEST_P(Conv2dParityTest, GemmPathMatchesNaive) {
+  const ConvShape p = GetParam();
+  ParamStore store;
+  Rng init{211};
+  Conv2d conv{store, p.in_ch, p.out_ch, p.in_h, p.in_w, p.kernel, p.stride, p.pad, init};
+  Rng data{223};
+  const auto x =
+      random_vec(static_cast<std::size_t>(p.batch) * conv.in_numel(), data);
+  const auto gy =
+      random_vec(static_cast<std::size_t>(p.batch) * conv.out_numel(), data);
+
+  // Forward parity.
+  std::vector<float> y_naive(gy.size(), 0.0f);
+  std::vector<float> y_gemm(gy.size(), 0.0f);
+  conv.naive_forward(store, x, y_naive, p.batch);
+  conv.forward(store, x, y_gemm, p.batch);
+  EXPECT_LE(max_abs_diff(y_naive, y_gemm), 1e-4f);
+
+  // Backward parity: param grads and input grads.
+  std::vector<float> gx_naive(x.size(), 0.0f);
+  std::vector<float> gx_gemm(x.size(), 0.0f);
+  store.zero_grads();
+  conv.naive_backward(store, x, gy, gx_naive, p.batch);
+  const std::vector<float> grads_naive{store.grads().begin(), store.grads().end()};
+  store.zero_grads();
+  conv.backward(store, x, gy, gx_gemm, p.batch);
+  EXPECT_LE(max_abs_diff(grads_naive, store.grads()), 1e-4f);
+  EXPECT_LE(max_abs_diff(gx_naive, gx_gemm), 1e-4f);
+
+  // gx may be skipped (first layer): param grads must be unaffected.
+  store.zero_grads();
+  conv.backward(store, x, gy, /*gx=*/{}, p.batch);
+  EXPECT_LE(max_abs_diff(grads_naive, store.grads()), 1e-4f);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, Conv2dParityTest,
+    ::testing::Values(ConvShape{1, 1, 5, 5, 3, 1, 1, 1},    // minimal
+                      ConvShape{2, 3, 7, 6, 3, 2, 1, 2},    // stride 2, rect input
+                      ConvShape{3, 4, 9, 9, 5, 2, 2, 3},    // 5x5 kernel, pad 2
+                      ConvShape{2, 2, 6, 6, 3, 3, 0, 2},    // stride 3, no pad
+                      ConvShape{4, 8, 16, 16, 3, 2, 1, 4},  // the policy's conv1
+                      ConvShape{8, 16, 8, 8, 3, 2, 1, 4})); // the policy's conv2
+
+TEST(LinearParityTest, GemmPathMatchesNaive) {
+  const int shapes[][3] = {{3, 2, 1}, {17, 5, 4}, {256, 64, 32}, {64, 32, 7}};
+  for (const auto& s : shapes) {
+    const int in = s[0], out = s[1], batch = s[2];
+    ParamStore store;
+    Rng init{307};
+    Linear lin{store, in, out, init};
+    Rng data{311};
+    const auto x = random_vec(static_cast<std::size_t>(batch) * in, data);
+    const auto gy = random_vec(static_cast<std::size_t>(batch) * out, data);
+
+    std::vector<float> y_naive(gy.size(), 0.0f);
+    std::vector<float> y_gemm(gy.size(), 0.0f);
+    lin.naive_forward(store, x, y_naive, batch);
+    lin.forward(store, x, y_gemm, batch);
+    EXPECT_LE(max_abs_diff(y_naive, y_gemm), 1e-4f) << in << "->" << out << " b" << batch;
+
+    std::vector<float> gx_naive(x.size(), 0.0f);
+    std::vector<float> gx_gemm(x.size(), 0.0f);
+    store.zero_grads();
+    lin.naive_backward(store, x, gy, gx_naive, batch);
+    const std::vector<float> grads_naive{store.grads().begin(), store.grads().end()};
+    store.zero_grads();
+    lin.backward(store, x, gy, gx_gemm, batch);
+    EXPECT_LE(max_abs_diff(grads_naive, store.grads()), 1e-4f);
+    EXPECT_LE(max_abs_diff(gx_naive, gx_gemm), 1e-4f);
   }
 }
 
