@@ -13,7 +13,7 @@ namespace lbchat::bench {
 namespace {
 
 /// Bump to invalidate every cached result after behavioural code changes.
-constexpr std::uint32_t kCacheVersion = 1;
+constexpr std::uint32_t kCacheVersion = 2;
 
 double bench_scale() {
   const char* env = std::getenv("LBCHAT_BENCH_SCALE");
@@ -89,6 +89,17 @@ void hash_scenario(FingerprintHasher& h, const engine::ScenarioConfig& c) {
   h.add(c.policy.conv2_channels);
   h.add(c.policy.fc_dim);
   h.add(c.policy.branch_hidden);
+  h.add(c.faults.burst_rate_per_min);
+  h.add(c.faults.burst_duration_s);
+  h.add(c.faults.burst_radius_m);
+  h.add(c.faults.burst_extra_loss);
+  h.add(c.faults.churn_rate_per_min);
+  h.add(c.faults.churn_offline_mean_s);
+  h.add(c.faults.corrupt_prob_near);
+  h.add(c.faults.corrupt_prob_far);
+  h.add(c.faults.chat_backoff);
+  h.add(c.faults.backoff_base);
+  h.add(c.faults.backoff_max_exp);
 }
 
 void write_run(const std::filesystem::path& path, const CachedRun& run) {
@@ -103,6 +114,11 @@ void write_run(const std::filesystem::path& path, const CachedRun& run) {
   w.write_i32(run.transfers.sessions_started);
   w.write_i32(run.transfers.sessions_aborted);
   w.write_u64(run.transfers.bytes_delivered);
+  w.write_i32(run.transfers.frames_rejected);
+  w.write_i32(run.transfers.model_frames_rejected);
+  w.write_i32(run.transfers.sessions_lost_to_blackout);
+  w.write_i32(run.transfers.backoff_retries);
+  w.write_f64(run.transfers.offline_vehicle_seconds);
   w.write_u64(static_cast<std::uint64_t>(run.train_steps));
   w.write_u32(static_cast<std::uint32_t>(run.final_params.size()));
   for (const auto& p : run.final_params) w.write_f32_vec(p);
@@ -128,6 +144,11 @@ bool read_run(const std::filesystem::path& path, CachedRun& run) {
     run.transfers.sessions_started = r.read_i32();
     run.transfers.sessions_aborted = r.read_i32();
     run.transfers.bytes_delivered = r.read_u64();
+    run.transfers.frames_rejected = r.read_i32();
+    run.transfers.model_frames_rejected = r.read_i32();
+    run.transfers.sessions_lost_to_blackout = r.read_i32();
+    run.transfers.backoff_retries = r.read_i32();
+    run.transfers.offline_vehicle_seconds = r.read_f64();
     run.train_steps = static_cast<long>(r.read_u64());
     const auto n = r.read_u32();
     run.final_params.clear();

@@ -1,12 +1,31 @@
 #include "baselines/gossip_base.h"
 
 #include <algorithm>
+#include <exception>
+
+#include "common/bytes.h"
+#include "common/frame.h"
+#include "nn/model_io.h"
 
 namespace lbchat::baselines {
 
 using engine::FleetSim;
 using engine::PairSession;
 using engine::StageTag;
+
+namespace {
+
+/// One directional exchange payload: the sparse model plus the sender's
+/// data-source composition vector (empty unless the subclass provides one).
+std::vector<std::uint8_t> encode_exchange(const nn::SparseModel& model,
+                                          const std::vector<double>& comp) {
+  ByteWriter w;
+  nn::write_sparse_model(w, model);
+  w.write_f64_vec(comp);
+  return frame::encode(frame::FrameType::kModel, w.bytes());
+}
+
+}  // namespace
 
 bool GossipBaseStrategy::start_exchange(FleetSim& sim, int a, int b) {
   const auto& cfg = sim.config();
@@ -23,29 +42,43 @@ bool GossipBaseStrategy::start_exchange(FleetSim& sim, int a, int b) {
   // semantics); under wireless loss the blindly-sized transfer overruns and
   // fails — the mechanism behind these baselines' low receiving rates.
   s.deadline_s = sim.time() + window;
-  auto ex = std::make_shared<ExchangeData>();
-  ex->model_a = nn::compress_for_psi(sim.node(a).model.params(), psi);
-  ex->model_b = nn::compress_for_psi(sim.node(b).model.params(), psi);
-  ex->comp_a = composition_of(sim, a);
-  ex->comp_b = composition_of(sim, b);
-  s.data = ex;
-  sim.queue_transfer(s, a, cfg.wire.model_bytes_at(psi), {StageTag::kModel, a, 0});
-  sim.queue_transfer(s, b, cfg.wire.model_bytes_at(psi), {StageTag::kModel, b, 0});
+  sim.queue_transfer(
+      s, a, cfg.wire.model_bytes_at(psi), {StageTag::kModel, a, 0},
+      encode_exchange(nn::compress_for_psi(sim.node(a).model.params(), psi),
+                      composition_of(sim, a)));
+  sim.queue_transfer(
+      s, b, cfg.wire.model_bytes_at(psi), {StageTag::kModel, b, 0},
+      encode_exchange(nn::compress_for_psi(sim.node(b).model.params(), psi),
+                      composition_of(sim, b)));
   return true;
 }
 
 void GossipBaseStrategy::on_transfer_complete(FleetSim& sim, PairSession& s,
                                               const StageTag& tag) {
   if (tag.kind != StageTag::kModel) return;
-  auto ex = std::static_pointer_cast<ExchangeData>(s.data);
-  if (ex == nullptr) return;
   const bool from_a = tag.from == s.vehicle_a();
   const int receiver = from_a ? s.vehicle_b() : s.vehicle_a();
   const int sender = from_a ? s.vehicle_a() : s.vehicle_b();
-  const nn::SparseModel& sparse = from_a ? ex->model_a : ex->model_b;
-  const std::vector<float> params = sparse.densify();
-  if (params.size() != sim.node(receiver).model.param_count()) return;
-  aggregate(sim, receiver, sender, params, from_a ? ex->comp_a : ex->comp_b);
+  // Envelope verification before deserializing — a corrupt frame is dropped
+  // (the receiver keeps its current model) rather than aggregated.
+  const frame::Decoded dec = frame::decode(s.delivered_payload());
+  if (dec.ok() && dec.type == frame::FrameType::kModel) {
+    try {
+      ByteReader r{dec.payload};
+      const nn::SparseModel sparse = nn::read_sparse_model(r);
+      const std::vector<double> comp = r.read_f64_vec();
+      const std::vector<float> params = sparse.densify();
+      if (params.size() != sim.node(receiver).model.param_count()) return;
+      aggregate(sim, receiver, sender, params, comp);
+      return;
+    } catch (const std::exception&) {
+      // fall through to the rejection path
+    }
+  }
+  auto& st = sim.stats();
+  ++st.frames_rejected;
+  ++st.model_frames_rejected;
+  sim.note_pair_failure(s.vehicle_a(), s.vehicle_b());
 }
 
 }  // namespace lbchat::baselines

@@ -23,16 +23,11 @@ class GossipBaseStrategy : public engine::Strategy {
                             const engine::StageTag& tag) override;
 
  protected:
-  struct ExchangeData {
-    nn::SparseModel model_a;
-    nn::SparseModel model_b;
-    std::vector<double> comp_a;  ///< sender composition vectors (DFL-DDS)
-    std::vector<double> comp_b;
-  };
-
   /// Start a pairwise model exchange with equal, fit-to-window compression
-  /// ratios. Returns false (and starts nothing) when the window is too small
-  /// to bother.
+  /// ratios. Each direction's payload (sparse model + composition vector)
+  /// travels in a CRC-checksummed frame; receivers verify before
+  /// deserializing. Returns false (and starts nothing) when the window is too
+  /// small to bother.
   bool start_exchange(engine::FleetSim& sim, int a, int b);
 
   /// Fold a received (densified) peer model into the receiver; `sender_comp`

@@ -24,9 +24,13 @@ void ProxSkipStrategy::local_train(FleetSim& sim, int v) {
 }
 
 void ProxSkipStrategy::on_tick(FleetSim& sim) {
-  // A "round" ends when every vehicle has taken its local step; then flip the
-  // ProxSkip coin: with probability p, the prox (central averaging) fires.
-  if (trained_since_round_ < sim.num_vehicles()) return;
+  // A "round" ends when every *online* vehicle has taken its local step; then
+  // flip the ProxSkip coin: with probability p, the prox (central averaging)
+  // fires. Gating on the online count keeps rounds progressing under churn
+  // (offline vehicles skip local steps and would otherwise stall the round
+  // forever); with faults off it equals num_vehicles() and nothing changes.
+  const int online = sim.online_vehicles();
+  if (online == 0 || trained_since_round_ < online) return;
   trained_since_round_ = 0;
   if (!sim.rng().chance(opts_.comm_probability)) return;
   synchronize(sim);
@@ -42,6 +46,7 @@ void ProxSkipStrategy::synchronize(FleetSim& sim) {
   std::vector<char> uploaded(static_cast<std::size_t>(n), 0);
   int received = 0;
   for (int v = 0; v < n; ++v) {
+    if (!sim.is_online(v)) continue;  // churned-out vehicles miss the round
     ++stats.model_sends_started;
     if (!sim.infra_transfer_succeeds(sim.rng())) continue;
     ++stats.model_sends_completed;
@@ -57,6 +62,7 @@ void ProxSkipStrategy::synchronize(FleetSim& sim) {
   // Downlink: vehicles that receive the broadcast adopt the average; the
   // control variate absorbs the difference (ProxSkip's h-update).
   for (int v = 0; v < n; ++v) {
+    if (!sim.is_online(v)) continue;
     ++stats.model_sends_started;
     if (!sim.infra_transfer_succeeds(sim.rng())) continue;
     ++stats.model_sends_completed;

@@ -47,6 +47,7 @@ void RsuStrategy::setup(FleetSim& sim) {
 void RsuStrategy::on_tick(FleetSim& sim) {
   auto& stats = sim.stats();
   for (int v = 0; v < sim.num_vehicles(); ++v) {
+    if (!sim.is_online(v)) continue;  // churned-out vehicles skip RSU visits
     const Vec2 pos = sim.world().vehicle(v).pos;
     for (std::size_t r = 0; r < positions_.size(); ++r) {
       if (distance(pos, positions_[r]) > opts_.range_m) continue;

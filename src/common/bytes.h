@@ -109,7 +109,11 @@ class ByteReader {
   template <typename T>
   std::vector<T> read_pod_vec() {
     const auto n = read_u32();
-    check(static_cast<std::size_t>(n) * sizeof(T));
+    // Divide instead of multiplying so `n * sizeof(T)` cannot overflow
+    // std::size_t before the bound check (32-bit size_t would wrap).
+    if (n > (data_.size() - pos_) / sizeof(T)) {
+      throw std::out_of_range{"ByteReader: underflow"};
+    }
     std::vector<T> v(n);
     std::memcpy(v.data(), data_.data() + pos_, n * sizeof(T));
     pos_ += n * sizeof(T);
@@ -117,7 +121,10 @@ class ByteReader {
   }
 
   void check(std::size_t n) const {
-    if (pos_ + n > data_.size()) throw std::out_of_range{"ByteReader: underflow"};
+    // Phrased as a subtraction (pos_ <= size always holds) so a huge `n` —
+    // e.g. a corrupt u32 length prefix scaled by sizeof(T) — cannot wrap
+    // `pos_ + n` past SIZE_MAX and sneak under the bound.
+    if (n > data_.size() - pos_) throw std::out_of_range{"ByteReader: underflow"};
   }
 
   std::span<const std::uint8_t> data_;

@@ -1,0 +1,125 @@
+#include "common/frame.h"
+
+#include <array>
+#include <cstring>
+
+namespace lbchat::frame {
+
+namespace {
+
+constexpr std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+constexpr std::array<std::uint32_t, 256> kCrcTable = make_crc_table();
+
+std::uint32_t crc32_update(std::uint32_t crc, std::span<const std::uint8_t> data) {
+  for (const std::uint8_t b : data) {
+    crc = kCrcTable[(crc ^ b) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc;
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v & 0xFFu));
+  out.push_back(static_cast<std::uint8_t>((v >> 8) & 0xFFu));
+  out.push_back(static_cast<std::uint8_t>((v >> 16) & 0xFFu));
+  out.push_back(static_cast<std::uint8_t>((v >> 24) & 0xFFu));
+}
+
+std::uint32_t get_u32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) | (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) | (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+/// CRC over (version, type, length-le, payload): protects the header fields
+/// the receiver acts on, not just the payload bytes.
+std::uint32_t frame_crc(std::uint8_t version, std::uint8_t type, std::uint32_t length,
+                        std::span<const std::uint8_t> payload) {
+  std::uint32_t crc = 0xFFFFFFFFu;
+  const std::array<std::uint8_t, 6> head{
+      version,
+      type,
+      static_cast<std::uint8_t>(length & 0xFFu),
+      static_cast<std::uint8_t>((length >> 8) & 0xFFu),
+      static_cast<std::uint8_t>((length >> 16) & 0xFFu),
+      static_cast<std::uint8_t>((length >> 24) & 0xFFu),
+  };
+  crc = crc32_update(crc, head);
+  crc = crc32_update(crc, payload);
+  return crc ^ 0xFFFFFFFFu;
+}
+
+}  // namespace
+
+std::string_view to_string(FrameStatus s) {
+  switch (s) {
+    case FrameStatus::kOk: return "ok";
+    case FrameStatus::kTooShort: return "too-short";
+    case FrameStatus::kBadMagic: return "bad-magic";
+    case FrameStatus::kBadVersion: return "bad-version";
+    case FrameStatus::kBadLength: return "bad-length";
+    case FrameStatus::kBadChecksum: return "bad-checksum";
+  }
+  return "unknown";
+}
+
+std::uint32_t crc32(std::span<const std::uint8_t> data) {
+  return crc32_update(0xFFFFFFFFu, data) ^ 0xFFFFFFFFu;
+}
+
+std::vector<std::uint8_t> encode(FrameType type, std::span<const std::uint8_t> payload) {
+  const auto length = static_cast<std::uint32_t>(payload.size());
+  std::vector<std::uint8_t> out;
+  out.reserve(kHeaderBytes + payload.size());
+  put_u32(out, kFrameMagic);
+  out.push_back(kFrameVersion);
+  out.push_back(static_cast<std::uint8_t>(type));
+  put_u32(out, length);
+  put_u32(out, frame_crc(kFrameVersion, static_cast<std::uint8_t>(type), length, payload));
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+Decoded decode(std::span<const std::uint8_t> bytes) {
+  Decoded d;
+  if (bytes.size() < kHeaderBytes) {
+    d.status = FrameStatus::kTooShort;
+    return d;
+  }
+  if (get_u32(bytes.data()) != kFrameMagic) {
+    d.status = FrameStatus::kBadMagic;
+    return d;
+  }
+  const std::uint8_t version = bytes[4];
+  const std::uint8_t type = bytes[5];
+  const std::uint32_t length = get_u32(bytes.data() + 6);
+  const std::uint32_t crc = get_u32(bytes.data() + 10);
+  if (version != kFrameVersion) {
+    d.status = FrameStatus::kBadVersion;
+    return d;
+  }
+  if (static_cast<std::size_t>(length) > bytes.size() - kHeaderBytes) {
+    d.status = FrameStatus::kBadLength;
+    return d;
+  }
+  const std::span<const std::uint8_t> payload = bytes.subspan(kHeaderBytes, length);
+  if (frame_crc(version, type, length, payload) != crc) {
+    d.status = FrameStatus::kBadChecksum;
+    return d;
+  }
+  d.status = FrameStatus::kOk;
+  d.type = static_cast<FrameType>(type);
+  d.payload = payload;
+  return d;
+}
+
+}  // namespace lbchat::frame

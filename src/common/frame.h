@@ -1,0 +1,70 @@
+// Versioned, CRC32-checksummed wire envelope for the protocol payloads
+// (models, coresets, assist info). Delivered transfers can arrive damaged —
+// residual bit errors past the retransmission cap, or injected corruption
+// from the fault model — and the envelope is what makes that *detectable*:
+// receivers verify the checksum before deserializing and reject bad frames
+// instead of silently aggregating garbage.
+//
+// Layout (little-endian):
+//   u32 magic      'LBCF'
+//   u8  version    kFrameVersion
+//   u8  type       FrameType
+//   u32 length     payload byte count
+//   u32 crc32      over (version, type, length, payload)
+//   ..  payload
+//
+// decode() never throws and never reads out of bounds: any malformed input
+// maps to a FrameStatus other than kOk.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+namespace lbchat::frame {
+
+inline constexpr std::uint32_t kFrameMagic = 0x4643424Cu;  // "LBCF" on the wire
+inline constexpr std::uint8_t kFrameVersion = 1;
+inline constexpr std::size_t kHeaderBytes = 4 + 1 + 1 + 4 + 4;
+
+/// Payload discriminator carried in the header.
+enum class FrameType : std::uint8_t {
+  kAssist = 0,   ///< assistive information (pose, velocity, bandwidth)
+  kCoreset = 1,  ///< a coreset (samples + in-coreset weights)
+  kModel = 2,    ///< a (top-k sparsified) model
+};
+
+enum class FrameStatus : std::uint8_t {
+  kOk = 0,
+  kTooShort = 1,     ///< input smaller than the header
+  kBadMagic = 2,
+  kBadVersion = 3,
+  kBadLength = 4,    ///< declared payload length exceeds the input
+  kBadChecksum = 5,  ///< CRC mismatch (header or payload damaged)
+};
+
+[[nodiscard]] std::string_view to_string(FrameStatus s);
+
+/// IEEE 802.3 CRC-32 (reflected, poly 0xEDB88320) of `data`.
+[[nodiscard]] std::uint32_t crc32(std::span<const std::uint8_t> data);
+
+/// Wrap `payload` in a checksummed envelope.
+[[nodiscard]] std::vector<std::uint8_t> encode(FrameType type,
+                                               std::span<const std::uint8_t> payload);
+
+/// Result of decode(); `payload` views into the input buffer and is only
+/// valid while that buffer lives. `payload` is empty unless status == kOk.
+struct Decoded {
+  FrameStatus status = FrameStatus::kTooShort;
+  FrameType type = FrameType::kModel;
+  std::span<const std::uint8_t> payload;
+
+  [[nodiscard]] bool ok() const { return status == FrameStatus::kOk; }
+};
+
+/// Parse and verify an envelope. Never throws; rejects with a status instead.
+[[nodiscard]] Decoded decode(std::span<const std::uint8_t> bytes);
+
+}  // namespace lbchat::frame

@@ -2,9 +2,15 @@
 
 #include <algorithm>
 #include <cmath>
+#include <exception>
 #include <limits>
 
+#include "common/bytes.h"
+#include "common/frame.h"
 #include "common/log.h"
+#include "coreset/coreset_io.h"
+#include "net/assist_io.h"
+#include "nn/model_io.h"
 
 namespace lbchat::core {
 
@@ -14,20 +20,29 @@ using engine::StageTag;
 
 /// Per-session protocol scratch, carried in PairSession::data.
 struct LbChatStrategy::ChatData {
-  // Coreset snapshots as transmitted (sender side frozen at queue time).
+  // Coreset snapshots as transmitted (sender side frozen at queue time; the
+  // receiver works from the framed wire copy, which round-trips losslessly).
   coreset::Coreset coreset_a;
   coreset::Coreset coreset_b;
   bool a_received_coreset = false;
   bool b_received_coreset = false;
-  // Sparse models in flight.
-  nn::SparseModel model_a;  // x_a compressed at psi_a
-  nn::SparseModel model_b;
   double contact_estimate_s = 0.0;
 };
 
 namespace {
 constexpr int kPhaseCoresets = 0;
 constexpr int kPhaseModels = 1;
+
+frame::FrameType frame_type_for(StageTag::Kind kind) {
+  switch (kind) {
+    case StageTag::kAssist:
+      return frame::FrameType::kAssist;
+    case StageTag::kCoreset:
+      return frame::FrameType::kCoreset;
+    default:
+      return frame::FrameType::kModel;
+  }
+}
 }  // namespace
 
 LbChatStrategy::LbChatStrategy(LbChatOptions opts) : opts_(opts) {}
@@ -66,8 +81,12 @@ void LbChatStrategy::maybe_rebuild_coreset(FleetSim& sim, int v, bool force) {
 
 void LbChatStrategy::on_tick(FleetSim& sim) {
   // Periodic full coreset rebuilds (between rebuilds the merge-reduce fast
-  // path keeps the coreset fresh after each absorption).
-  for (int v = 0; v < sim.num_vehicles(); ++v) maybe_rebuild_coreset(sim, v, false);
+  // path keeps the coreset fresh after each absorption). Offline vehicles
+  // pause maintenance and resume where they left off.
+  for (int v = 0; v < sim.num_vehicles(); ++v) {
+    if (!sim.is_online(v)) continue;
+    maybe_rebuild_coreset(sim, v, false);
+  }
 
   // Encounter initiation: each idle vehicle picks the in-range idle peer
   // with the highest priority score c_ij (Eq. (5)).
@@ -104,13 +123,27 @@ void LbChatStrategy::on_tick(FleetSim& sim) {
       s.data = chat;
       s.phase = kPhaseCoresets;
       const auto& wire = cfg.wire;
-      // Assist info both ways, then coresets both ways.
-      sim.queue_transfer(s, a, wire.assist_info_bytes, {StageTag::kAssist, a, 0});
-      sim.queue_transfer(s, best, wire.assist_info_bytes, {StageTag::kAssist, best, 0});
+      // Assist info both ways, then coresets both ways. Every payload ships
+      // inside a CRC-checksummed frame envelope; the WireSizeModel byte
+      // counts still govern transfer duration (paper-scale sizes).
+      ByteWriter assist_a;
+      net::write_assist(assist_a, sim.assist_info(a));
+      ByteWriter assist_b;
+      net::write_assist(assist_b, sim.assist_info(best));
+      ByteWriter cs_a;
+      coreset::write_coreset(cs_a, chat->coreset_a);
+      ByteWriter cs_b;
+      coreset::write_coreset(cs_b, chat->coreset_b);
+      sim.queue_transfer(s, a, wire.assist_info_bytes, {StageTag::kAssist, a, 0},
+                         frame::encode(frame::FrameType::kAssist, assist_a.bytes()));
+      sim.queue_transfer(s, best, wire.assist_info_bytes, {StageTag::kAssist, best, 0},
+                         frame::encode(frame::FrameType::kAssist, assist_b.bytes()));
       sim.queue_transfer(s, a, wire.coreset_bytes(chat->coreset_a.size()),
-                         {StageTag::kCoreset, a, 0});
+                         {StageTag::kCoreset, a, 0},
+                         frame::encode(frame::FrameType::kCoreset, cs_a.bytes()));
       sim.queue_transfer(s, best, wire.coreset_bytes(chat->coreset_b.size()),
-                         {StageTag::kCoreset, best, 0});
+                         {StageTag::kCoreset, best, 0},
+                         frame::encode(frame::FrameType::kCoreset, cs_b.bytes()));
     }
   }
 }
@@ -118,30 +151,68 @@ void LbChatStrategy::on_tick(FleetSim& sim) {
 void LbChatStrategy::on_transfer_complete(FleetSim& sim, PairSession& s, const StageTag& tag) {
   auto chat = std::static_pointer_cast<ChatData>(s.data);
   if (chat == nullptr) return;
-  if (tag.kind == StageTag::kCoreset) {
-    // Receiver absorbs the peer coreset into its local dataset (§III-D) and
-    // refreshes its own coreset by merge + reduce.
-    const bool from_a = tag.from == s.vehicle_a();
-    const int receiver = from_a ? s.vehicle_b() : s.vehicle_a();
-    const coreset::Coreset& received = from_a ? chat->coreset_a : chat->coreset_b;
-    if (from_a) {
-      chat->b_received_coreset = true;
-    } else {
-      chat->a_received_coreset = true;
+  const bool from_a = tag.from == s.vehicle_a();
+  const int receiver = from_a ? s.vehicle_b() : s.vehicle_a();
+
+  // Verify the frame envelope before touching the payload. The fault model
+  // may have flipped bits in transit; a bad checksum (or a payload that fails
+  // structural validation despite a colliding checksum) means the receiver
+  // keeps its local state, records the event, and the pair backs off.
+  const frame::Decoded dec = frame::decode(s.delivered_payload());
+  bool ok = dec.ok() && dec.type == frame_type_for(tag.kind);
+  if (ok) {
+    try {
+      ByteReader r{dec.payload};
+      if (tag.kind == StageTag::kAssist) {
+        // Validated but otherwise unused: the engine's contact estimates
+        // model continuous beaconing with fresh positions.
+        (void)net::read_assist(r, sim.world().map());
+      } else if (tag.kind == StageTag::kCoreset) {
+        // Receiver absorbs the peer coreset into its local dataset (§III-D)
+        // and refreshes its own coreset by merge + reduce. The wire copy
+        // round-trips losslessly, so this matches the sender's snapshot.
+        const coreset::Coreset received =
+            coreset::read_coreset(r, sim.config().policy.bev);
+        if (from_a) {
+          chat->b_received_coreset = true;
+        } else {
+          chat->a_received_coreset = true;
+        }
+        auto& node = sim.node(receiver);
+        node.dataset.absorb(received.samples);
+        VehicleState& st = vehicles_[static_cast<std::size_t>(receiver)];
+        st.cs = coreset::reduce_coreset(coreset::merge_coresets(st.cs, received), node.model,
+                                        sim.config().coreset_size, node.rng);
+      } else if (tag.kind == StageTag::kModel) {
+        const nn::SparseModel sparse = nn::read_sparse_model(r);
+        // Aggregate against the *sender's* coreset (the freshest estimate of
+        // the sender's data distribution), merged into the receiver's own.
+        aggregate_received(sim, receiver, sparse, from_a ? chat->coreset_a : chat->coreset_b);
+      }
+    } catch (const std::exception& e) {
+      LBCHAT_LOG_DEBUG("chat %d<->%d: payload rejected after decode: %s", s.vehicle_a(),
+                       s.vehicle_b(), e.what());
+      ok = false;
     }
-    auto& node = sim.node(receiver);
-    node.dataset.absorb(received.samples);
-    VehicleState& st = vehicles_[static_cast<std::size_t>(receiver)];
-    st.cs = coreset::reduce_coreset(coreset::merge_coresets(st.cs, received), node.model,
-                                    sim.config().coreset_size, node.rng);
-  } else if (tag.kind == StageTag::kModel) {
-    const bool from_a = tag.from == s.vehicle_a();
-    const int receiver = from_a ? s.vehicle_b() : s.vehicle_a();
-    const nn::SparseModel& sparse = from_a ? chat->model_a : chat->model_b;
-    // Aggregate against the *sender's* coreset (the freshest estimate of the
-    // sender's data distribution), merged into the receiver's own.
-    aggregate_received(sim, receiver, sparse, from_a ? chat->coreset_a : chat->coreset_b);
   }
+  if (!ok) {
+    auto& st = sim.stats();
+    ++st.frames_rejected;
+    if (tag.kind == StageTag::kModel) ++st.model_frames_rejected;
+    sim.note_pair_failure(s.vehicle_a(), s.vehicle_b());
+    // A corrupt assist frame leaves the pair without trustworthy planning
+    // info — degrade gracefully by ending the chat before the bulk stages.
+    if (tag.kind == StageTag::kAssist) s.close();
+    return;
+  }
+  if (tag.kind != StageTag::kAssist) sim.note_pair_success(s.vehicle_a(), s.vehicle_b());
+}
+
+void LbChatStrategy::on_session_aborted(FleetSim& sim, PairSession& s) {
+  // An aborted chat (range loss, blackout, churn) counts as a pair failure
+  // for the exponential-backoff policy; with chat_backoff off this is a
+  // no-op and stock behaviour is unchanged.
+  if (!s.infrastructure()) sim.note_pair_failure(s.vehicle_a(), s.vehicle_b());
 }
 
 void LbChatStrategy::on_session_idle(FleetSim& sim, PairSession& s) {
@@ -224,12 +295,18 @@ void LbChatStrategy::begin_model_phase(FleetSim& sim, PairSession& s) {
   }
   s.phase = kPhaseModels;
   if (psi_a > 0.0) {
-    chat->model_a = nn::compress_for_psi(node_a.model.params(), psi_a);
-    sim.queue_transfer(s, a, cfg.wire.model_bytes_at(psi_a), {StageTag::kModel, a, 0});
+    const nn::SparseModel m = nn::compress_for_psi(node_a.model.params(), psi_a);
+    ByteWriter w;
+    nn::write_sparse_model(w, m);
+    sim.queue_transfer(s, a, cfg.wire.model_bytes_at(psi_a), {StageTag::kModel, a, 0},
+                       frame::encode(frame::FrameType::kModel, w.bytes()));
   }
   if (psi_b > 0.0) {
-    chat->model_b = nn::compress_for_psi(node_b.model.params(), psi_b);
-    sim.queue_transfer(s, b, cfg.wire.model_bytes_at(psi_b), {StageTag::kModel, b, 0});
+    const nn::SparseModel m = nn::compress_for_psi(node_b.model.params(), psi_b);
+    ByteWriter w;
+    nn::write_sparse_model(w, m);
+    sim.queue_transfer(s, b, cfg.wire.model_bytes_at(psi_b), {StageTag::kModel, b, 0},
+                       frame::encode(frame::FrameType::kModel, w.bytes()));
   }
 }
 

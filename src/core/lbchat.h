@@ -49,6 +49,7 @@ class LbChatStrategy final : public engine::Strategy {
   void on_transfer_complete(engine::FleetSim& sim, engine::PairSession& s,
                             const engine::StageTag& tag) override;
   void on_session_idle(engine::FleetSim& sim, engine::PairSession& s) override;
+  void on_session_aborted(engine::FleetSim& sim, engine::PairSession& s) override;
 
   /// The live coreset of a vehicle (tests/diagnostics).
   [[nodiscard]] const coreset::Coreset& coreset_of(int v) const;

@@ -1,0 +1,47 @@
+// Wire serialization of coresets (samples + in-coreset weights w_C).
+#pragma once
+
+#include <stdexcept>
+
+#include "common/bytes.h"
+#include "coreset/coreset.h"
+#include "data/sample_io.h"
+
+namespace lbchat::coreset {
+
+inline void write_coreset(ByteWriter& w, const Coreset& c) {
+  w.write_u8(static_cast<std::uint8_t>(c.spec.channels));
+  w.write_u8(static_cast<std::uint8_t>(c.spec.height));
+  w.write_u8(static_cast<std::uint8_t>(c.spec.width));
+  w.write_f64(c.spec.cell_m);
+  w.write_u32(static_cast<std::uint32_t>(c.samples.size()));
+  for (const data::Sample& s : c.samples) data::write_sample(w, s);
+  w.write_f64_vec(c.wc);
+}
+
+/// Reads and validates a coreset against the fleet-wide `expected` BevSpec.
+/// Throws std::out_of_range (truncated) or std::runtime_error (spec mismatch,
+/// weight vector not parallel to samples, malformed frame).
+inline Coreset read_coreset(ByteReader& r, const data::BevSpec& expected) {
+  Coreset c;
+  c.spec.channels = r.read_u8();
+  c.spec.height = r.read_u8();
+  c.spec.width = r.read_u8();
+  c.spec.cell_m = r.read_f64();
+  if (!(c.spec == expected)) {
+    throw std::runtime_error{"read_coreset: BevSpec mismatch"};
+  }
+  const std::uint32_t n = r.read_u32();
+  // Each serialized sample occupies > 1 byte, so a count past the remaining
+  // bytes is corrupt — reject before reserving storage for it.
+  if (n > r.remaining()) throw std::out_of_range{"read_coreset: sample count underflow"};
+  c.samples.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) c.samples.push_back(data::read_sample(r, c.spec));
+  c.wc = r.read_f64_vec();
+  if (c.wc.size() != c.samples.size()) {
+    throw std::runtime_error{"read_coreset: weight vector length mismatch"};
+  }
+  return c;
+}
+
+}  // namespace lbchat::coreset

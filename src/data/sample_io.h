@@ -1,0 +1,66 @@
+// Wire serialization of training frames (data::Sample).
+//
+// Lossless round trip: BEV packed to bits, command byte, float waypoints,
+// double weight, plus provenance. Readers validate structure (command range,
+// BEV size against the agreed BevSpec) and throw rather than return garbage —
+// frames arrive over the radio inside a CRC envelope (common/frame.h), but a
+// validating deserializer is the second line of defence.
+#pragma once
+
+#include <stdexcept>
+
+#include "common/bytes.h"
+#include "data/frame.h"
+
+namespace lbchat::data {
+
+/// Pack a binary occupancy raster to bits, LSB-first within each byte.
+inline std::vector<std::uint8_t> pack_bev(const BevGrid& bev) {
+  std::vector<std::uint8_t> out((bev.cells.size() + 7) / 8, 0);
+  for (std::size_t i = 0; i < bev.cells.size(); ++i) {
+    if (bev.cells[i] != 0) out[i / 8] |= static_cast<std::uint8_t>(1u << (i % 8));
+  }
+  return out;
+}
+
+inline BevGrid unpack_bev(std::span<const std::uint8_t> packed, const BevSpec& spec) {
+  const auto numel = static_cast<std::size_t>(spec.numel());
+  if (packed.size() != (numel + 7) / 8) {
+    throw std::runtime_error{"unpack_bev: packed size does not match BevSpec"};
+  }
+  BevGrid bev{spec};
+  for (std::size_t i = 0; i < numel; ++i) {
+    bev.cells[i] = (packed[i / 8] >> (i % 8)) & 1u;
+  }
+  return bev;
+}
+
+inline void write_sample(ByteWriter& w, const Sample& s) {
+  w.write_u8(static_cast<std::uint8_t>(s.command));
+  const auto packed = pack_bev(s.bev);
+  w.write_bytes(packed);
+  for (const float v : s.waypoints) w.write_f32(v);
+  w.write_f64(s.weight);
+  w.write_u64(s.id);
+  w.write_u32(s.source_vehicle);
+}
+
+/// Reads and validates one frame against the fleet-wide `spec`. Throws
+/// std::out_of_range (truncated) or std::runtime_error (command out of range,
+/// BEV size mismatch) — never constructs a structurally invalid Sample.
+inline Sample read_sample(ByteReader& r, const BevSpec& spec) {
+  Sample s;
+  const std::uint8_t cmd = r.read_u8();
+  if (cmd >= static_cast<std::uint8_t>(kNumCommands)) {
+    throw std::runtime_error{"read_sample: command out of range"};
+  }
+  s.command = static_cast<Command>(cmd);
+  s.bev = unpack_bev(r.read_bytes(), spec);
+  for (float& v : s.waypoints) v = r.read_f32();
+  s.weight = r.read_f64();
+  s.id = r.read_u64();
+  s.source_vehicle = r.read_u32();
+  return s;
+}
+
+}  // namespace lbchat::data

@@ -30,6 +30,7 @@ FleetSim::FleetSim(const ScenarioConfig& cfg, std::unique_ptr<Strategy> strategy
       no_loss_(zero_loss()),
       world_(cfg.world, cfg.num_vehicles, cfg.seed),
       strategy_(std::move(strategy)),
+      faults_(cfg.faults, cfg.seed, world_.map().extent(), cfg.num_vehicles),
       strategy_rng_(Rng{cfg.seed}.fork("strategy")),
       net_rng_(Rng{cfg.seed}.fork("net")),
       infra_rng_(Rng{cfg.seed}.fork("infra")) {
@@ -131,7 +132,27 @@ bool FleetSim::in_range(int a, int b) const {
 
 bool FleetSim::cooldown_passed(int a, int b) const {
   const auto it = last_chat_.find(pair_key(a, b));
-  return it == last_chat_.end() || time_ - it->second >= cfg_.pair_cooldown_s;
+  if (it == last_chat_.end()) return true;
+  double cooldown = cfg_.pair_cooldown_s;
+  if (cfg_.faults.chat_backoff) {
+    const auto bo = pair_backoff_.find(pair_key(a, b));
+    if (bo != pair_backoff_.end() && bo->second > 0) {
+      const int exp = std::min(bo->second, cfg_.faults.backoff_max_exp);
+      cooldown *= std::pow(cfg_.faults.backoff_base, exp);
+    }
+  }
+  return time_ - it->second >= cooldown;
+}
+
+void FleetSim::note_pair_failure(int a, int b) {
+  if (!cfg_.faults.chat_backoff || b < 0) return;
+  ++pair_backoff_[pair_key(a, b)];
+  ++stats_.backoff_retries;
+}
+
+void FleetSim::note_pair_success(int a, int b) {
+  if (!cfg_.faults.chat_backoff || b < 0) return;
+  pair_backoff_.erase(pair_key(a, b));
 }
 
 net::AssistInfo FleetSim::assist_info(int v, bool share_route) const {
@@ -181,11 +202,12 @@ PairSession& FleetSim::start_infra_session(int a, const Vec2& pos) {
 }
 
 void FleetSim::queue_transfer(PairSession& s, int from_vehicle, std::size_t bytes,
-                              StageTag tag) {
+                              StageTag tag, std::vector<std::uint8_t> payload) {
   tag.from = from_vehicle;
   if (tag.kind == StageTag::kModel && bytes > 0) ++stats_.model_sends_started;
   if (tag.kind == StageTag::kCoreset && bytes > 0) ++stats_.coreset_sends_started;
-  s.queue_.push_back(PairSession::Stage{tag, net::Transfer{bytes, cfg_.radio}});
+  s.queue_.push_back(
+      PairSession::Stage{tag, net::Transfer{bytes, cfg_.radio}, std::move(payload)});
 }
 
 bool FleetSim::infra_transfer_succeeds(Rng& r) {
@@ -208,9 +230,18 @@ void FleetSim::tick_sessions(double dt) {
     PairSession& s = *sessions_[i];
     if (s.closed_ && s.queue_.empty()) continue;
     const double d = session_distance(s);
+    // Interference bursts add per-packet loss on top of the distance table
+    // (0.0 when no burst covers either endpoint, which is always true with
+    // fault injection off).
+    const Vec2 pos_a = world_.vehicle(s.a_).pos;
+    const Vec2 pos_b = s.infrastructure() ? s.fixed_pos_ : world_.vehicle(s.b_).pos;
+    const double extra = faults_.extra_loss(pos_a, pos_b);
     if (d > cfg_.radio.max_range_m || (!s.queue_.empty() && time_ > s.deadline_s) ||
         (!s.queue_.empty() && time_ - s.started_at_ > cfg_.session_timeout_s)) {
       ++stats_.sessions_aborted;
+      // A deadline/timeout abort while a burst blacks the link out is
+      // attributed to the blackout: the transfer could not make progress.
+      if (extra >= 1.0 && !s.queue_.empty()) ++stats_.sessions_lost_to_blackout;
       s.queue_.clear();
       s.closed_ = true;
       strategy_->on_session_aborted(*this, s);
@@ -221,15 +252,21 @@ void FleetSim::tick_sessions(double dt) {
     while (!s.queue_.empty()) {
       auto& stage = s.queue_.front();
       if (!stage.transfer.complete() && !ticked) {
-        stats_.bytes_delivered += stage.transfer.tick(d, dt, active_loss, net_rng_);
+        stats_.bytes_delivered += stage.transfer.tick(d, dt, active_loss, net_rng_, extra);
         ticked = true;
       }
       if (!stage.transfer.complete()) break;
       const StageTag tag = stage.tag;
+      s.delivered_payload_ = std::move(stage.payload);
       s.queue_.pop_front();
+      if (!s.delivered_payload_.empty() &&
+          faults_.corrupt_delivery(d, cfg_.radio.max_range_m)) {
+        faults_.corrupt_payload(s.delivered_payload_);
+      }
       if (tag.kind == StageTag::kModel) ++stats_.model_sends_completed;
       if (tag.kind == StageTag::kCoreset) ++stats_.coreset_sends_completed;
       strategy_->on_transfer_complete(*this, s, tag);
+      s.delivered_payload_.clear();
       if (s.closed_) {
         s.queue_.clear();
         break;
@@ -258,6 +295,15 @@ void FleetSim::reap_sessions() {
       ++it;
     }
   }
+}
+
+void FleetSim::abort_sessions_of(int v) {
+  PairSession* s = busy_[static_cast<std::size_t>(v)];
+  if (s == nullptr || (s->closed_ && s->queue_.empty())) return;
+  ++stats_.sessions_aborted;
+  s->queue_.clear();
+  s->closed_ = true;
+  strategy_->on_session_aborted(*this, *s);
 }
 
 double FleetSim::default_local_train(int v) {
@@ -295,12 +341,26 @@ RunMetrics FleetSim::run() {
   while (time_ < cfg_.duration_s) {
     world_.step(cfg_.tick_s);
     time_ += cfg_.tick_s;
+    faults_.advance(time_, cfg_.tick_s);
+    // Churn: a vehicle dropping out mid-session aborts it (the peer sees
+    // on_session_aborted, as if the link died); its own training and
+    // chatting pause until it rejoins, state intact.
+    for (const int v : faults_.went_offline()) abort_sessions_of(v);
+    if (faults_.offline_count() > 0) {
+      stats_.offline_vehicle_seconds += cfg_.tick_s * faults_.offline_count();
+      reap_sessions();
+    }
     if (time_ >= next_train) {
       if (strategy_->parallel_local_train()) {
-        for_each_vehicle(
-            [this](std::int64_t v) { strategy_->local_train(*this, static_cast<int>(v)); });
+        for_each_vehicle([this](std::int64_t v) {
+          if (faults_.offline(static_cast<int>(v))) return;
+          strategy_->local_train(*this, static_cast<int>(v));
+        });
       } else {
-        for (int v = 0; v < num_vehicles(); ++v) strategy_->local_train(*this, v);
+        for (int v = 0; v < num_vehicles(); ++v) {
+          if (faults_.offline(v)) continue;
+          strategy_->local_train(*this, v);
+        }
       }
       next_train += cfg_.train_interval_s;
     }

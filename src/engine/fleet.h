@@ -22,6 +22,7 @@
 
 #include "common/thread_pool.h"
 #include "data/dataset.h"
+#include "engine/faults.h"
 #include "engine/metrics.h"
 #include "engine/scenario.h"
 #include "net/contact.h"
@@ -79,11 +80,21 @@ class PairSession {
   /// and move on, per the paper's time-budget semantics).
   double deadline_s = std::numeric_limits<double>::infinity();
 
+  /// Framed wire bytes of the transfer that just completed — valid only
+  /// inside Strategy::on_transfer_complete, and only for stages queued with
+  /// a payload (empty otherwise). Receivers verify the frame envelope
+  /// (common/frame.h) before deserializing; the fault model may have
+  /// flipped bits in it.
+  [[nodiscard]] const std::vector<std::uint8_t>& delivered_payload() const {
+    return delivered_payload_;
+  }
+
  private:
   friend class FleetSim;
   struct Stage {
     StageTag tag;
     net::Transfer transfer;
+    std::vector<std::uint8_t> payload;  ///< framed wire bytes (may be empty)
   };
   int a_ = -1;
   int b_ = -1;
@@ -91,6 +102,7 @@ class PairSession {
   double started_at_ = 0.0;
   bool closed_ = false;
   std::deque<Stage> queue_;
+  std::vector<std::uint8_t> delivered_payload_;
 };
 
 class FleetSim;
@@ -161,10 +173,26 @@ class FleetSim {
 
   [[nodiscard]] double pair_distance(int a, int b) const;
   [[nodiscard]] bool in_range(int a, int b) const;
+  /// Free to start a session: no active session AND not churned offline.
   [[nodiscard]] bool is_idle(int v) const {
-    return busy_[static_cast<std::size_t>(v)] == nullptr;
+    return busy_[static_cast<std::size_t>(v)] == nullptr && !faults_.offline(v);
   }
+  /// False while the fault model holds vehicle `v` offline (churn). Offline
+  /// vehicles neither train nor chat; they rejoin with their state intact.
+  [[nodiscard]] bool is_online(int v) const { return !faults_.offline(v); }
+  /// Number of vehicles currently online.
+  [[nodiscard]] int online_vehicles() const {
+    return num_vehicles() - faults_.offline_count();
+  }
+  [[nodiscard]] const FaultInjector& faults() const { return faults_; }
   [[nodiscard]] bool cooldown_passed(int a, int b) const;
+  /// Graceful-degradation hooks: a strategy reports a failed exchange with a
+  /// pair (aborted session, rejected frame) or a successful one. With
+  /// FaultConfig::chat_backoff enabled, failures exponentially extend the
+  /// pair's chat cooldown (bounded retry) and successes reset it; otherwise
+  /// both are no-ops.
+  void note_pair_failure(int a, int b);
+  void note_pair_success(int a, int b);
   /// Assist info for a vehicle. `share_route = false` yields the baseline
   /// view (constant-velocity extrapolation instead of the shared route).
   [[nodiscard]] net::AssistInfo assist_info(int v, bool share_route = true) const;
@@ -177,8 +205,12 @@ class FleetSim {
   /// becomes busy.
   PairSession& start_infra_session(int a, const Vec2& pos);
   /// Queue a directional transfer on a session; model transfers are counted
-  /// toward the receiving-rate statistics.
-  void queue_transfer(PairSession& s, int from_vehicle, std::size_t bytes, StageTag tag);
+  /// toward the receiving-rate statistics. `payload` carries the framed wire
+  /// bytes (common/frame.h) delivered to the receiver on completion — the
+  /// logical `bytes` count (WireSizeModel scale) still governs transfer
+  /// duration; the payload rides along as metadata.
+  void queue_transfer(PairSession& s, int from_vehicle, std::size_t bytes, StageTag tag,
+                      std::vector<std::uint8_t> payload = {});
 
   /// Bernoulli success of an idealized backend transfer: the paper models
   /// infrastructure links as suffering "a wireless loss uniformly sampled
@@ -197,6 +229,8 @@ class FleetSim {
   void collect_phase();
   void tick_sessions(double dt);
   void reap_sessions();
+  /// Abort every session a churned-out vehicle participates in.
+  void abort_sessions_of(int v);
   [[nodiscard]] double session_distance(const PairSession& s) const;
   /// Run fn(v) for every vehicle, on the pool when one is configured.
   /// Deterministic provided fn(v) only touches vehicle-v state.
@@ -212,6 +246,9 @@ class FleetSim {
   std::vector<std::unique_ptr<PairSession>> sessions_;
   std::vector<PairSession*> busy_;
   std::unordered_map<std::uint64_t, double> last_chat_;  // pair key -> time
+  /// pair key -> consecutive reported failures (chat_backoff bookkeeping).
+  std::unordered_map<std::uint64_t, int> pair_backoff_;
+  FaultInjector faults_;
   TransferStats stats_;
   Rng strategy_rng_;
   Rng net_rng_;

@@ -18,10 +18,35 @@ struct TransferStats {
   int sessions_aborted = 0;
   std::uint64_t bytes_delivered = 0;
 
+  // --- Robustness / fault-model observability (all zero with faults off) ---
+  /// Delivered frames whose envelope failed verification (any payload kind).
+  int frames_rejected = 0;
+  /// Model frames among `frames_rejected` (they complete at the link layer
+  /// but carry no usable model — see effective_model_receiving_rate()).
+  int model_frames_rejected = 0;
+  /// Session aborts that happened while an interference burst blacked out
+  /// the link (subset of `sessions_aborted`).
+  int sessions_lost_to_blackout = 0;
+  /// Times a pair's chat cooldown was exponentially extended after a
+  /// reported failure (FaultConfig::chat_backoff).
+  int backoff_retries = 0;
+  /// Integrated vehicle-seconds spent offline due to churn.
+  double offline_vehicle_seconds = 0.0;
+
   /// §IV-C: "successful model receiving rate on average".
   [[nodiscard]] double model_receiving_rate() const {
     return model_sends_started > 0
                ? static_cast<double>(model_sends_completed) / model_sends_started
+               : 0.0;
+  }
+
+  /// Receiving rate counting only models that also passed envelope
+  /// verification — the robustness headline under payload corruption.
+  /// Equals model_receiving_rate() when no frames were rejected.
+  [[nodiscard]] double effective_model_receiving_rate() const {
+    return model_sends_started > 0
+               ? static_cast<double>(model_sends_completed - model_frames_rejected) /
+                     model_sends_started
                : 0.0;
   }
 };

@@ -4,6 +4,7 @@
 #include <cstdint>
 
 #include "coreset/coreset.h"
+#include "engine/faults.h"
 #include "net/wireless.h"
 #include "nn/policy.h"
 #include "sim/world.h"
@@ -61,6 +62,11 @@ struct ScenarioConfig {
 
   nn::PolicyConfig policy{};
   coreset::PenaltyConfig penalty{};
+
+  /// Fault model (interference bursts, vehicle churn, payload corruption,
+  /// chat backoff). All off by default: a default-constructed FaultConfig
+  /// leaves every run bit-identical to an engine without fault injection.
+  FaultConfig faults{};
 };
 
 }  // namespace lbchat::engine

@@ -1,0 +1,93 @@
+// Wire serialization of assistive information (net::AssistInfo).
+//
+// The shared route travels as its road-graph node sequence (compact — the
+// receiver holds the same map and rebuilds the polyline, as a navigation
+// service would). AssistInfo::route is a non-owning pointer, so the rebuilt
+// Route must outlive the AssistInfo referencing it — DeserializedAssist
+// bundles the two.
+#pragma once
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/bytes.h"
+#include "net/contact.h"
+
+namespace lbchat::net {
+
+inline void write_assist(ByteWriter& w, const AssistInfo& info) {
+  w.write_f64(info.pos.x);
+  w.write_f64(info.pos.y);
+  w.write_f64(info.velocity.x);
+  w.write_f64(info.velocity.y);
+  w.write_f64(info.speed);
+  w.write_f64(info.route_s);
+  w.write_f64(info.bandwidth_bps);
+  std::uint32_t n = 0;
+  if (info.route != nullptr && !info.route->empty()) {
+    n = static_cast<std::uint32_t>(info.route->node_sequence().size());
+  }
+  w.write_u32(n);
+  if (n > 0) {
+    for (const int node : info.route->node_sequence()) {
+      w.write_i32(node);
+    }
+  }
+}
+
+/// AssistInfo plus the storage backing its route pointer. `info.route` is
+/// kept null in storage (the struct stays safely movable); call view() to get
+/// an AssistInfo bound to the rebuilt route.
+struct DeserializedAssist {
+  AssistInfo info;
+  sim::Route route;  ///< rebuilt shared route (empty when none was sent)
+
+  /// The received AssistInfo with its route pointer bound to `route`. The
+  /// returned value must not outlive this DeserializedAssist.
+  [[nodiscard]] AssistInfo view() const {
+    AssistInfo v = info;
+    v.route = route.empty() ? nullptr : &route;
+    return v;
+  }
+};
+
+/// Reads and validates assist info against the shared town map. Throws
+/// std::out_of_range (truncated) or std::runtime_error (non-finite fields,
+/// route node ids outside the map) — corrupt values would otherwise poison
+/// every downstream contact estimate.
+inline DeserializedAssist read_assist(ByteReader& r, const sim::TownMap& map) {
+  DeserializedAssist out;
+  AssistInfo& info = out.info;
+  info.pos.x = r.read_f64();
+  info.pos.y = r.read_f64();
+  info.velocity.x = r.read_f64();
+  info.velocity.y = r.read_f64();
+  info.speed = r.read_f64();
+  info.route_s = r.read_f64();
+  info.bandwidth_bps = r.read_f64();
+  for (const double v : {info.pos.x, info.pos.y, info.velocity.x, info.velocity.y, info.speed,
+                         info.route_s, info.bandwidth_bps}) {
+    if (!std::isfinite(v)) throw std::runtime_error{"read_assist: non-finite field"};
+  }
+  const std::uint32_t n = r.read_u32();
+  if (n > 0) {
+    // Each node id is 4 bytes; reject a corrupt count before reserving.
+    if (n > r.remaining() / 4) {
+      throw std::out_of_range{"read_assist: route length underflow"};
+    }
+    std::vector<int> seq;
+    seq.reserve(n);
+    const auto num_nodes = static_cast<int>(map.nodes().size());
+    for (std::uint32_t i = 0; i < n; ++i) {
+      const std::int32_t node = r.read_i32();
+      if (node < 0 || node >= num_nodes) {
+        throw std::runtime_error{"read_assist: route node id out of range"};
+      }
+      seq.push_back(node);
+    }
+    out.route = sim::Route{std::move(seq), map};
+  }
+  return out;
+}
+
+}  // namespace lbchat::net

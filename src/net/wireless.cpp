@@ -48,10 +48,15 @@ double WirelessLossModel::sample_uniform_loss(Rng& rng) const {
   return packet_loss(rng.uniform(distances_.front(), distances_.back()));
 }
 
-std::size_t Transfer::tick(double distance, double dt, const WirelessLossModel& loss, Rng& rng) {
+std::size_t Transfer::tick(double distance, double dt, const WirelessLossModel& loss, Rng& rng,
+                           double extra_loss) {
   if (remaining_ == 0 || dt <= 0.0) return 0;
   if (distance > radio_.max_range_m) return 0;
-  const double p = loss.packet_loss(distance);
+  // Independent loss processes compose: p = 1 - (1-p_dist)(1-p_extra).
+  // extra_loss == 0 reduces to p_dist exactly (bit-identical to a run
+  // without the fault model).
+  const double p_dist = loss.packet_loss(distance);
+  const double p = p_dist + extra_loss - p_dist * extra_loss;
   const double attempts = radio_.packets_per_second() * dt;
   if (attempts <= 0.0 || p >= 1.0) return 0;
   // Expected successes with normal-approximated binomial noise; each failed

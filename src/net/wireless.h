@@ -7,6 +7,7 @@
 //    match the paper even though the computational substrate is miniature.
 #pragma once
 
+#include <cmath>
 #include <cstddef>
 #include <span>
 #include <vector>
@@ -67,11 +68,13 @@ struct WireSizeModel {
   [[nodiscard]] std::size_t coreset_bytes(std::size_t num_samples) const {
     return num_samples * coreset_bytes_per_sample;
   }
-  /// Wire bytes of a model compressed to reciprocal ratio psi.
+  /// Wire bytes of a model compressed to reciprocal ratio psi. Rounded *up*
+  /// so any nonzero psi costs at least one byte: truncation toward zero let a
+  /// tiny psi map to a 0-byte — instantly "complete" — transfer.
   [[nodiscard]] std::size_t model_bytes_at(double psi) const {
     if (psi <= 0.0) return 0;
     if (psi >= 1.0) return model_bytes;
-    return static_cast<std::size_t>(psi * static_cast<double>(model_bytes));
+    return static_cast<std::size_t>(std::ceil(psi * static_cast<double>(model_bytes)));
   }
 };
 
@@ -87,8 +90,11 @@ class Transfer {
                                                                 remaining_(total_bytes) {}
 
   /// Advance by `dt` seconds at `distance`; `loss` is the per-packet loss
-  /// model. Returns bytes delivered this tick.
-  std::size_t tick(double distance, double dt, const WirelessLossModel& loss, Rng& rng);
+  /// model. `extra_loss` is an additional, independent per-packet loss
+  /// probability (interference bursts from the fault model; 1.0 = the link
+  /// is blacked out). Returns bytes delivered this tick.
+  std::size_t tick(double distance, double dt, const WirelessLossModel& loss, Rng& rng,
+                   double extra_loss = 0.0);
 
   [[nodiscard]] bool complete() const { return remaining_ == 0; }
   [[nodiscard]] std::size_t remaining_bytes() const { return remaining_; }

@@ -64,6 +64,41 @@ TEST(BytesTest, CorruptLengthThrows) {
   EXPECT_THROW(r.read_f32_vec(), std::out_of_range);
 }
 
+TEST(BytesTest, MaliciousLengthPrefixCannotWrapBoundsCheck) {
+  // Regression: `pos_ + n` used to be compared against size(), so a length
+  // prefix near SIZE_MAX (scaled by sizeof(T)) could wrap past SIZE_MAX and
+  // sneak under the bound, driving a huge memcpy off the end of the buffer.
+  {
+    ByteWriter w;
+    w.write_u32(0xFFFFFFFFu);  // 4 G elements claimed, 4 bytes of payload
+    w.write_u32(0);
+    ByteReader r{w.bytes()};
+    EXPECT_THROW(r.read_f64_vec(), std::out_of_range);
+  }
+  {
+    ByteWriter w;
+    w.write_u32(0xFFFFFFFFu);
+    ByteReader r{w.bytes()};
+    EXPECT_THROW(r.read_string(), std::out_of_range);
+  }
+  {
+    ByteWriter w;
+    w.write_u32(0xFFFFFFF0u);
+    w.write_u32(0);
+    ByteReader r{w.bytes()};
+    EXPECT_THROW(r.read_bytes(), std::out_of_range);
+  }
+  // u32 elements: n * 4 wraps a 32-bit size_t; the division-based check must
+  // still reject on 64-bit too.
+  {
+    ByteWriter w;
+    w.write_u32(0x40000001u);
+    w.write_u32(1);
+    ByteReader r{w.bytes()};
+    EXPECT_THROW(r.read_u32_vec(), std::out_of_range);
+  }
+}
+
 TEST(BytesTest, RemainingTracksPosition) {
   ByteWriter w;
   w.write_u32(5);

@@ -203,6 +203,108 @@ TEST(FleetSimTest, SessionTimeoutIsEnforced) {
   EXPECT_TRUE(raw->aborted);
 }
 
+TEST(FleetSimTest, CloseWithPendingStagesDropsThem) {
+  // close() inside on_transfer_complete with stages still queued must drop
+  // the remainder: no further completion callbacks, and both endpoints are
+  // freed for new sessions.
+  auto cfg = tiny_scenario();
+  cfg.duration_s = 120.0;
+  class TwoStage final : public Strategy {
+   public:
+    [[nodiscard]] std::string_view name() const override { return "two-stage"; }
+    void on_tick(FleetSim& sim) override {
+      if (started_) return;
+      for (int a = 0; a < sim.num_vehicles() && !started_; ++a) {
+        for (int b = a + 1; b < sim.num_vehicles() && !started_; ++b) {
+          if (!sim.is_idle(a) || !sim.is_idle(b)) continue;
+          if (sim.pair_distance(a, b) > sim.config().radio.max_range_m * 0.5) continue;
+          started_ = true;
+          pair_a = a;
+          pair_b = b;
+          PairSession& s = sim.start_session(a, b);
+          sim.queue_transfer(s, a, 64 * 1024, {StageTag::kModel, a, 0});
+          sim.queue_transfer(s, b, 64 * 1024, {StageTag::kModel, b, 1});
+        }
+      }
+    }
+    void on_transfer_complete(FleetSim&, PairSession& s, const StageTag&) override {
+      ++completions;
+      s.close();
+    }
+    int completions = 0;
+    int pair_a = -1;
+    int pair_b = -1;
+
+   private:
+    bool started_ = false;
+  };
+  auto strategy = std::make_unique<TwoStage>();
+  auto* raw = strategy.get();
+  FleetSim sim{cfg, std::move(strategy)};
+  const RunMetrics m = sim.run();
+  ASSERT_GE(raw->pair_a, 0);
+  EXPECT_EQ(raw->completions, 1);
+  EXPECT_EQ(m.transfers.model_sends_started, 2);
+  EXPECT_EQ(m.transfers.model_sends_completed, 1);
+  EXPECT_TRUE(sim.is_idle(raw->pair_a));
+  EXPECT_TRUE(sim.is_idle(raw->pair_b));
+}
+
+TEST(FleetSimTest, AbortDrainsQueueBeforeCallbackAndFreesVehicles) {
+  auto cfg = tiny_scenario();
+  cfg.duration_s = 120.0;
+  class AbortProbe final : public Strategy {
+   public:
+    [[nodiscard]] std::string_view name() const override { return "abort-probe"; }
+    void on_tick(FleetSim& sim) override {
+      if (started_) return;
+      for (int a = 0; a < sim.num_vehicles() && !started_; ++a) {
+        for (int b = a + 1; b < sim.num_vehicles() && !started_; ++b) {
+          if (!sim.is_idle(a) || !sim.is_idle(b)) continue;
+          if (sim.pair_distance(a, b) > sim.config().radio.max_range_m * 0.5) continue;
+          started_ = true;
+          pair_a = a;
+          pair_b = b;
+          PairSession& s = sim.start_session(a, b);
+          s.deadline_s = sim.time() + 5.0;
+          sim.queue_transfer(s, a, 500ull * 1024 * 1024, {StageTag::kModel, a, 0});
+        }
+      }
+    }
+    void on_transfer_complete(FleetSim&, PairSession&, const StageTag&) override {
+      ++completions;
+    }
+    void on_session_aborted(FleetSim&, PairSession& s) override {
+      ++aborts;
+      // The engine drains and closes the session before notifying.
+      queue_was_empty = s.idle();
+      session_was_closed = s.closed();
+    }
+    int completions = 0;
+    int aborts = 0;
+    int pair_a = -1;
+    int pair_b = -1;
+    bool queue_was_empty = false;
+    bool session_was_closed = false;
+
+   private:
+    bool started_ = false;
+  };
+  auto strategy = std::make_unique<AbortProbe>();
+  auto* raw = strategy.get();
+  FleetSim sim{cfg, std::move(strategy)};
+  const RunMetrics m = sim.run();
+  ASSERT_GE(raw->pair_a, 0);
+  EXPECT_EQ(raw->aborts, 1);
+  EXPECT_EQ(raw->completions, 0);
+  EXPECT_TRUE(raw->queue_was_empty);
+  EXPECT_TRUE(raw->session_was_closed);
+  EXPECT_EQ(m.transfers.sessions_aborted, 1);
+  // Aborted endpoints are reaped and become available again.
+  EXPECT_TRUE(sim.is_idle(raw->pair_a));
+  EXPECT_TRUE(sim.is_idle(raw->pair_b));
+}
+
 TEST(FleetSimTest, BusyVehiclesCannotStartSecondSession) {
   auto cfg = tiny_scenario();
   class DoubleStart final : public Strategy {

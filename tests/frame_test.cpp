@@ -1,0 +1,290 @@
+// Tests for the checksummed wire envelope (common/frame.h) and robustness
+// property tests for the payload deserializers: any truncated or bit-flipped
+// buffer must either decode to a rejection status or throw the documented
+// exceptions — never crash, hang, or read out of bounds (run under
+// LBCHAT_SANITIZE=address,undefined to enforce the last part).
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "common/bytes.h"
+#include "common/frame.h"
+#include "common/rng.h"
+#include "coreset/coreset_io.h"
+#include "data/sample_io.h"
+#include "net/assist_io.h"
+#include "nn/model_io.h"
+#include "sim/route.h"
+#include "sim/town.h"
+
+namespace lbchat {
+namespace {
+
+TEST(FrameTest, Crc32KnownVector) {
+  // The canonical IEEE 802.3 check value: CRC32("123456789") = 0xCBF43926.
+  const std::vector<std::uint8_t> check{'1', '2', '3', '4', '5', '6', '7', '8', '9'};
+  EXPECT_EQ(frame::crc32(check), 0xCBF43926u);
+  EXPECT_EQ(frame::crc32({}), 0x00000000u);
+}
+
+TEST(FrameTest, EncodeDecodeRoundtrip) {
+  const std::vector<std::uint8_t> payload{0xDE, 0xAD, 0xBE, 0xEF, 0x00, 0x42};
+  const auto wire = frame::encode(frame::FrameType::kCoreset, payload);
+  EXPECT_EQ(wire.size(), frame::kHeaderBytes + payload.size());
+  const auto dec = frame::decode(wire);
+  ASSERT_TRUE(dec.ok());
+  EXPECT_EQ(dec.type, frame::FrameType::kCoreset);
+  EXPECT_EQ(std::vector<std::uint8_t>(dec.payload.begin(), dec.payload.end()), payload);
+}
+
+TEST(FrameTest, EmptyPayloadRoundtrip) {
+  const auto wire = frame::encode(frame::FrameType::kAssist, {});
+  const auto dec = frame::decode(wire);
+  ASSERT_TRUE(dec.ok());
+  EXPECT_EQ(dec.type, frame::FrameType::kAssist);
+  EXPECT_TRUE(dec.payload.empty());
+}
+
+TEST(FrameTest, EveryTruncationRejected) {
+  const std::vector<std::uint8_t> payload{1, 2, 3, 4, 5, 6, 7, 8};
+  const auto wire = frame::encode(frame::FrameType::kModel, payload);
+  for (std::size_t n = 0; n < wire.size(); ++n) {
+    const auto dec = frame::decode(std::span{wire.data(), n});
+    EXPECT_FALSE(dec.ok()) << "truncation to " << n << " bytes accepted";
+  }
+}
+
+TEST(FrameTest, EverySingleBitFlipRejected) {
+  const std::vector<std::uint8_t> payload{10, 20, 30, 40, 50};
+  const auto wire = frame::encode(frame::FrameType::kModel, payload);
+  for (std::size_t byte = 0; byte < wire.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      auto damaged = wire;
+      damaged[byte] ^= static_cast<std::uint8_t>(1u << bit);
+      const auto dec = frame::decode(damaged);
+      EXPECT_FALSE(dec.ok()) << "flip of byte " << byte << " bit " << bit << " accepted";
+    }
+  }
+}
+
+TEST(FrameTest, StatusDiscriminatesFailureModes) {
+  const auto wire = frame::encode(frame::FrameType::kModel, std::vector<std::uint8_t>{9});
+  EXPECT_EQ(frame::decode(std::span{wire.data(), 3}).status, frame::FrameStatus::kTooShort);
+  {
+    auto bad = wire;
+    bad[0] ^= 0xFF;
+    EXPECT_EQ(frame::decode(bad).status, frame::FrameStatus::kBadMagic);
+  }
+  {
+    auto bad = wire;
+    bad[4] = frame::kFrameVersion + 1;
+    EXPECT_EQ(frame::decode(bad).status, frame::FrameStatus::kBadVersion);
+  }
+  {
+    auto bad = wire;
+    bad[6] = 0xFF;  // declared length far past the buffer
+    EXPECT_EQ(frame::decode(bad).status, frame::FrameStatus::kBadLength);
+  }
+  {
+    auto bad = wire;
+    bad.back() ^= 0x01;  // payload damage
+    EXPECT_EQ(frame::decode(bad).status, frame::FrameStatus::kBadChecksum);
+  }
+  EXPECT_EQ(frame::to_string(frame::FrameStatus::kBadChecksum), "bad-checksum");
+}
+
+// ---------------------------------------------------------------------------
+// Deserializer robustness properties. The CRC envelope rejects transport
+// damage; these tests cover the second line of defence — the deserializers
+// themselves must reject (by documented exception), never crash or OOB-read,
+// when handed malformed bytes that a hostile or buggy sender could produce.
+// ---------------------------------------------------------------------------
+
+/// Expect the callable to either succeed or throw one of the documented
+/// deserialization exceptions; anything else (crash, OOB under sanitizers)
+/// fails the test run itself.
+template <typename F>
+void expect_clean(F&& f) {
+  try {
+    (void)f();
+  } catch (const std::out_of_range&) {
+    // truncated buffer
+  } catch (const std::runtime_error&) {
+    // structurally invalid payload
+  }
+}
+
+std::vector<std::uint8_t> sample_model_bytes() {
+  nn::SparseModel m;
+  m.dim = 64;
+  m.dense = false;
+  m.indices = {1, 5, 9, 33};
+  m.values = {0.5f, -1.0f, 2.5f, 0.125f};
+  ByteWriter w;
+  nn::write_sparse_model(w, m);
+  return w.bytes();
+}
+
+TEST(DeserializerRobustnessTest, SparseModelTruncationsAndBitFlips) {
+  const auto bytes = sample_model_bytes();
+  // Intact round trip first.
+  {
+    ByteReader r{bytes};
+    const auto m = nn::read_sparse_model(r);
+    EXPECT_EQ(m.indices.size(), 4u);
+  }
+  for (std::size_t n = 0; n < bytes.size(); ++n) {
+    expect_clean([&] {
+      ByteReader r{std::span{bytes.data(), n}};
+      return nn::read_sparse_model(r);
+    });
+  }
+  Rng rng{7};
+  for (int trial = 0; trial < 500; ++trial) {
+    auto damaged = bytes;
+    const auto bit = rng.uniform_index(damaged.size() * 8);
+    damaged[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+    expect_clean([&] {
+      ByteReader r{damaged};
+      return nn::read_sparse_model(r);
+    });
+  }
+}
+
+TEST(DeserializerRobustnessTest, SparseModelStructuralValidation) {
+  {
+    // Dense flag with a sparse-sized value vector.
+    nn::SparseModel m;
+    m.dim = 64;
+    m.dense = true;
+    m.values = {1.0f};
+    ByteWriter w;
+    nn::write_sparse_model(w, m);
+    ByteReader r{w.bytes()};
+    EXPECT_THROW(nn::read_sparse_model(r), std::runtime_error);
+  }
+  {
+    // Index past dim.
+    nn::SparseModel m;
+    m.dim = 4;
+    m.indices = {9};
+    m.values = {1.0f};
+    ByteWriter w;
+    nn::write_sparse_model(w, m);
+    ByteReader r{w.bytes()};
+    EXPECT_THROW(nn::read_sparse_model(r), std::runtime_error);
+  }
+  {
+    // indices/values length mismatch.
+    nn::SparseModel m;
+    m.dim = 4;
+    m.indices = {1, 2};
+    m.values = {1.0f};
+    ByteWriter w;
+    nn::write_sparse_model(w, m);
+    ByteReader r{w.bytes()};
+    EXPECT_THROW(nn::read_sparse_model(r), std::runtime_error);
+  }
+}
+
+coreset::Coreset sample_coreset() {
+  coreset::Coreset c;
+  Rng rng{3};
+  for (int i = 0; i < 3; ++i) {
+    data::Sample s;
+    s.bev = data::BevGrid{c.spec};
+    for (auto& cell : s.bev.cells) cell = rng.chance(0.3) ? 1 : 0;
+    s.command = static_cast<data::Command>(i % data::kNumCommands);
+    for (float& wp : s.waypoints) wp = static_cast<float>(rng.uniform(-1.0, 1.0));
+    s.weight = 1.0 + i;
+    s.id = 100u + static_cast<std::uint64_t>(i);
+    s.source_vehicle = 2;
+    c.samples.push_back(std::move(s));
+    c.wc.push_back(0.5 * (i + 1));
+  }
+  return c;
+}
+
+TEST(DeserializerRobustnessTest, CoresetRoundtripAndCorruption) {
+  const coreset::Coreset original = sample_coreset();
+  ByteWriter w;
+  coreset::write_coreset(w, original);
+  const auto bytes = w.bytes();
+  {
+    ByteReader r{bytes};
+    const auto c = coreset::read_coreset(r, original.spec);
+    ASSERT_EQ(c.samples.size(), original.samples.size());
+    EXPECT_EQ(c.wc, original.wc);
+    for (std::size_t i = 0; i < c.samples.size(); ++i) {
+      EXPECT_EQ(c.samples[i].bev.cells, original.samples[i].bev.cells);
+      EXPECT_EQ(c.samples[i].command, original.samples[i].command);
+      EXPECT_EQ(c.samples[i].waypoints, original.samples[i].waypoints);
+      EXPECT_EQ(c.samples[i].weight, original.samples[i].weight);
+      EXPECT_EQ(c.samples[i].id, original.samples[i].id);
+    }
+  }
+  for (std::size_t n = 0; n < bytes.size(); n += 3) {
+    expect_clean([&] {
+      ByteReader r{std::span{bytes.data(), n}};
+      return coreset::read_coreset(r, original.spec);
+    });
+  }
+  Rng rng{11};
+  for (int trial = 0; trial < 300; ++trial) {
+    auto damaged = bytes;
+    const auto bit = rng.uniform_index(damaged.size() * 8);
+    damaged[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+    expect_clean([&] {
+      ByteReader r{damaged};
+      return coreset::read_coreset(r, original.spec);
+    });
+  }
+}
+
+TEST(DeserializerRobustnessTest, AssistRoundtripAndCorruption) {
+  Rng rng{5};
+  const auto map = sim::TownMap::generate(sim::TownConfig{}, rng);
+  const sim::Route route = sim::plan_route(map, 0, static_cast<int>(map.nodes().size()) - 1);
+  net::AssistInfo info;
+  info.pos = Vec2{120.0, 340.0};
+  info.velocity = Vec2{3.0, -1.5};
+  info.speed = 3.35;
+  info.route_s = 42.0;
+  info.route = route.empty() ? nullptr : &route;
+  info.bandwidth_bps = 31e6;
+
+  ByteWriter w;
+  net::write_assist(w, info);
+  const auto bytes = w.bytes();
+  {
+    ByteReader r{bytes};
+    const auto got = net::read_assist(r, map);
+    EXPECT_EQ(got.info.pos, info.pos);
+    EXPECT_EQ(got.info.speed, info.speed);
+    const auto view = got.view();
+    if (info.route != nullptr) {
+      ASSERT_NE(view.route, nullptr);
+      EXPECT_EQ(view.route->node_sequence(), info.route->node_sequence());
+      EXPECT_DOUBLE_EQ(view.route->length(), info.route->length());
+    }
+  }
+  for (std::size_t n = 0; n < bytes.size(); n += 2) {
+    expect_clean([&] {
+      ByteReader r{std::span{bytes.data(), n}};
+      return net::read_assist(r, map);
+    });
+  }
+  Rng flip_rng{13};
+  for (int trial = 0; trial < 300; ++trial) {
+    auto damaged = bytes;
+    const auto bit = flip_rng.uniform_index(damaged.size() * 8);
+    damaged[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+    expect_clean([&] {
+      ByteReader r{damaged};
+      return net::read_assist(r, map);
+    });
+  }
+}
+
+}  // namespace
+}  // namespace lbchat

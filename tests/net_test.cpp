@@ -128,6 +128,53 @@ TEST(WireSizeTest, ModelBytesAtPsi) {
   EXPECT_EQ(wire.model_bytes_at(2.0), wire.model_bytes);  // clamped
 }
 
+TEST(WireSizeTest, TinyPsiRoundsUpToOneByte) {
+  // Regression: truncation toward zero used to turn a tiny nonzero psi into a
+  // 0-byte transfer that "completed" instantly — a free model exchange. Any
+  // psi > 0 must cost at least one wire byte.
+  const WireSizeModel wire;
+  EXPECT_GE(wire.model_bytes_at(1e-12), 1u);
+  EXPECT_GE(wire.model_bytes_at(1.0 / static_cast<double>(wire.model_bytes) / 2.0), 1u);
+  // Round-up never exceeds the full model.
+  EXPECT_LE(wire.model_bytes_at(0.999999999), wire.model_bytes);
+}
+
+TEST(TransferTest, ExtraLossStallsAndComposes) {
+  const RadioConfig radio;
+  const auto loss = WirelessLossModel::default_table(radio.max_range_m);
+  // extra_loss = 1.0 blacks the link out: zero bytes regardless of distance.
+  {
+    Rng rng{21};
+    Transfer t{1024 * 1024, radio};
+    EXPECT_EQ(t.tick(10.0, 1.0, loss, rng, /*extra_loss=*/1.0), 0u);
+    EXPECT_FALSE(t.complete());
+  }
+  // Partial extra loss degrades goodput relative to a clean link.
+  {
+    Rng rng_clean{22};
+    Rng rng_noisy{22};
+    Transfer clean{50ull * 1024 * 1024, radio};
+    Transfer noisy{50ull * 1024 * 1024, radio};
+    std::size_t clean_bytes = 0;
+    std::size_t noisy_bytes = 0;
+    for (int i = 0; i < 10; ++i) {
+      clean_bytes += clean.tick(10.0, 0.5, loss, rng_clean);
+      noisy_bytes += noisy.tick(10.0, 0.5, loss, rng_noisy, /*extra_loss=*/0.7);
+    }
+    EXPECT_GT(clean_bytes, noisy_bytes * 2);
+  }
+  // extra_loss = 0.0 must be the IEEE-identical default path.
+  {
+    Rng rng_a{23};
+    Rng rng_b{23};
+    Transfer a{1024 * 1024, radio};
+    Transfer b{1024 * 1024, radio};
+    for (int i = 0; i < 5; ++i) {
+      EXPECT_EQ(a.tick(50.0, 0.2, loss, rng_a), b.tick(50.0, 0.2, loss, rng_b, 0.0));
+    }
+  }
+}
+
 // ---------------------------------------------------------------- contact
 
 class ContactFixture : public ::testing::Test {
