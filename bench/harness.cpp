@@ -7,6 +7,9 @@
 
 #include "common/bytes.h"
 #include "common/rng.h"
+#include "engine/report.h"
+#include "obs/export.h"
+#include "obs/obs.h"
 
 namespace lbchat::bench {
 
@@ -27,6 +30,45 @@ std::filesystem::path cache_dir() {
   std::filesystem::path dir = env != nullptr ? env : ".bench_cache";
   std::filesystem::create_directories(dir);
   return dir;
+}
+
+std::filesystem::path trace_dir() {
+  const char* env = std::getenv("LBCHAT_TRACE_DIR");
+  std::filesystem::path dir = env != nullptr ? env : ".bench_traces";
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+std::string sanitize_name(std::string_view name) {
+  std::string out;
+  out.reserve(name.size());
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '-' || c == '_';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+void export_run_observability(const engine::ScenarioConfig& cfg, baselines::Approach approach,
+                              std::uint64_t key, const engine::RunMetrics& m) {
+  const std::string approach_str{baselines::approach_name(approach)};
+  char stem[128];
+  std::snprintf(stem, sizeof stem, "%s_%016llx", sanitize_name(approach_str).c_str(),
+                static_cast<unsigned long long>(key));
+  const auto dir = trace_dir();
+  const auto events = obs::tracer().events();
+  const auto save = [&dir](const std::string& file, const std::string& body) {
+    std::ofstream out{dir / file, std::ios::binary};
+    out.write(body.data(), static_cast<std::streamsize>(body.size()));
+  };
+  save(std::string{stem} + ".trace.json", obs::chrome_trace_json(events, obs::spans().spans()));
+  save(std::string{stem} + ".events.jsonl", obs::events_jsonl(events, obs::tracer().dropped()));
+  save(std::string{stem} + ".metrics.json", obs::metrics_json(obs::registry().snapshot()));
+  save(std::string{stem} + ".report.json",
+       obs::run_report_json(engine::build_run_report(approach_str, cfg, m)));
+  std::fprintf(stderr, "[bench] observability exports: %s/%s.{trace.json,events.jsonl,...}\n",
+               dir.string().c_str(), stem);
 }
 
 class FingerprintHasher {
@@ -215,8 +257,14 @@ CachedRun run_or_load(const engine::ScenarioConfig& cfg, baselines::Approach app
   std::fprintf(stderr, "[bench] training %s (wireless=%d, |C|=%zu, %.0fs)...\n",
                std::string{baselines::approach_name(approach)}.c_str(),
                cfg.wireless_loss ? 1 : 0, cfg.coreset_size, cfg.duration_s);
+  // LBCHAT_TRACE=1|events|spans turns on observability for uncached runs;
+  // each run starts from a clean slate so its exports cover exactly that
+  // run. The cache fingerprint is unaffected (tracing is pure observation).
+  const bool tracing = obs::init_from_env();
+  if (tracing) obs::reset();
   engine::FleetSim sim{cfg, baselines::make_strategy(approach)};
   const engine::RunMetrics m = sim.run();
+  if (tracing) export_run_observability(cfg, approach, key, m);
   run.loss_curve = m.loss_curve;
   run.transfers = m.transfers;
   run.final_params = m.final_params;

@@ -5,6 +5,8 @@
 // Usage:
 //   lbchat_sim_cli [--approach NAME] [--vehicles N] [--duration S]
 //                  [--coreset N] [--seed N] [--no-wireless-loss] [--eval]
+//                  [--trace-out F] [--events-out F] [--metrics-out F]
+//                  [--report-out F]
 //
 // Approaches: ProxSkip  RSU-L  DFL-DDS  DP  LbChat  SCO
 //             "LbChat(equal-comp)"  "LbChat(avg-agg)"
@@ -16,7 +18,10 @@
 
 #include "baselines/factory.h"
 #include "engine/fleet.h"
+#include "engine/report.h"
 #include "eval/online.h"
+#include "obs/export.h"
+#include "obs/obs.h"
 
 namespace {
 
@@ -25,9 +30,32 @@ void usage() {
                "usage: lbchat_sim_cli [--approach NAME] [--vehicles N] [--duration S]\n"
                "                      [--coreset N] [--seed N] [--threads N]\n"
                "                      [--no-wireless-loss] [--eval]\n"
-               "  --threads N   worker lanes for per-vehicle training/eval\n"
-               "                (0 = all hardware threads, 1 = sequential;\n"
-               "                results are bit-identical for any value)\n");
+               "                      [--trace-out FILE] [--events-out FILE]\n"
+               "                      [--metrics-out FILE] [--report-out FILE]\n"
+               "  --threads N       worker lanes for per-vehicle training/eval\n"
+               "                    (0 = all hardware threads, 1 = sequential;\n"
+               "                    results are bit-identical for any value)\n"
+               "  --trace-out F     Chrome trace-event JSON (open in Perfetto);\n"
+               "                    enables sim-event + wall-clock span tracing\n"
+               "  --events-out F    sim-time event log, one JSON object per line\n"
+               "  --metrics-out F   merged metrics-registry snapshot as JSON\n"
+               "  --report-out F    per-vehicle run report (.csv => CSV, else JSON)\n");
+}
+
+bool write_file(const std::string& path, const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  const bool ok = std::fwrite(content.data(), 1, content.size(), f) == content.size();
+  std::fclose(f);
+  return ok;
+}
+
+bool ends_with(const std::string& s, const char* suffix) {
+  const std::size_t n = std::strlen(suffix);
+  return s.size() >= n && s.compare(s.size() - n, n, suffix) == 0;
 }
 
 }  // namespace
@@ -40,6 +68,10 @@ int main(int argc, char** argv) {
   cfg.num_vehicles = 8;
   cfg.duration_s = 900.0;
   bool run_eval = false;
+  std::string trace_out;
+  std::string events_out;
+  std::string metrics_out;
+  std::string report_out;
 
   for (int i = 1; i < argc; ++i) {
     const auto need_value = [&](const char* flag) -> const char* {
@@ -66,6 +98,14 @@ int main(int argc, char** argv) {
       cfg.wireless_loss = false;
     } else if (std::strcmp(argv[i], "--eval") == 0) {
       run_eval = true;
+    } else if (std::strcmp(argv[i], "--trace-out") == 0) {
+      trace_out = need_value("--trace-out");
+    } else if (std::strcmp(argv[i], "--events-out") == 0) {
+      events_out = need_value("--events-out");
+    } else if (std::strcmp(argv[i], "--metrics-out") == 0) {
+      metrics_out = need_value("--metrics-out");
+    } else if (std::strcmp(argv[i], "--report-out") == 0) {
+      report_out = need_value("--report-out");
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
       usage();
@@ -96,8 +136,42 @@ int main(int argc, char** argv) {
       approach_name.c_str(), cfg.num_vehicles, cfg.duration_s, cfg.coreset_size,
       cfg.wireless_loss ? 1 : 0, static_cast<unsigned long long>(cfg.seed), cfg.num_threads);
 
+  // Tracing is opt-in: sim events feed every export; wall-clock spans are
+  // only collected when the Chrome trace was requested (they appear nowhere
+  // else). LBCHAT_TRACE can also enable collection without an output flag.
+  obs::init_from_env();
+  if (!trace_out.empty() || !events_out.empty() || !metrics_out.empty()) {
+    obs::set_events_enabled(true);
+  }
+  if (!trace_out.empty()) obs::set_spans_enabled(true);
+
   engine::FleetSim sim{cfg, baselines::make_strategy(approach)};
   const engine::RunMetrics m = sim.run();
+
+  int export_failures = 0;
+  if (!trace_out.empty() || !events_out.empty() || !metrics_out.empty() ||
+      !report_out.empty()) {
+    const auto events = obs::tracer().events();
+    if (!trace_out.empty() &&
+        !write_file(trace_out, obs::chrome_trace_json(events, obs::spans().spans()))) {
+      ++export_failures;
+    }
+    if (!events_out.empty() &&
+        !write_file(events_out, obs::events_jsonl(events, obs::tracer().dropped()))) {
+      ++export_failures;
+    }
+    if (!metrics_out.empty() &&
+        !write_file(metrics_out, obs::metrics_json(obs::registry().snapshot()))) {
+      ++export_failures;
+    }
+    if (!report_out.empty()) {
+      const obs::RunReport report = engine::build_run_report(approach_name, cfg, m);
+      const std::string body = ends_with(report_out, ".csv")
+                                   ? obs::run_report_csv(report)
+                                   : obs::run_report_json(report);
+      if (!write_file(report_out, body)) ++export_failures;
+    }
+  }
 
   std::printf("\nloss curve:\n");
   for (std::size_t i = 0; i < m.loss_curve.size(); ++i) {
@@ -127,5 +201,5 @@ int main(int argc, char** argv) {
                   100.0 * ev.success_rate(model, task));
     }
   }
-  return 0;
+  return export_failures == 0 ? 0 : 1;
 }

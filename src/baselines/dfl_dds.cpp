@@ -38,16 +38,17 @@ void DflDdsStrategy::on_tick(FleetSim& sim) {
     }
   }
   std::sort(cands.begin(), cands.end(), [](const Cand& x, const Cand& y) { return x.d < y.d; });
+  int exchanges = 0;
   for (const Cand& c : cands) {
     if (!sim.is_idle(c.a) || !sim.is_idle(c.b)) continue;
-    start_exchange(sim, c.a, c.b);
+    if (start_exchange(sim, c.a, c.b)) ++exchanges;
   }
+  obs::emit(sim.time(), obs::EventKind::kRound, -1, -1, exchanges);
 }
 
 void DflDdsStrategy::aggregate(FleetSim& sim, int receiver, int sender,
                                const std::vector<float>& peer_params,
                                const std::vector<double>& sender_comp) {
-  (void)sender;
   auto& q_self = compositions_[static_cast<std::size_t>(receiver)];
   // Line-search the peer mixing weight alpha for maximal source diversity
   // (entropy of the blended composition vector).
@@ -81,6 +82,7 @@ void DflDdsStrategy::aggregate(FleetSim& sim, int receiver, int sender,
     q_self[k] = (1.0 - best_alpha) * q_self[k] +
                 best_alpha * (k < sender_comp.size() ? sender_comp[k] : 0.0);
   }
+  obs::emit(sim.time(), obs::EventKind::kAggregate, receiver, sender, best_alpha);
 }
 
 }  // namespace lbchat::baselines

@@ -30,7 +30,6 @@ void DpStrategy::on_tick(FleetSim& sim) {
 void DpStrategy::aggregate(FleetSim& sim, int receiver, int sender,
                            const std::vector<float>& peer_params,
                            const std::vector<double>& sender_comp) {
-  (void)sender;
   (void)sender_comp;
   auto& node = sim.node(receiver);
 
@@ -54,6 +53,7 @@ void DpStrategy::aggregate(FleetSim& sim, int receiver, int sender,
   for (std::size_t k = 0; k < params.size(); ++k) {
     params[k] = a * params[k] + b * peer_params[k];
   }
+  obs::emit(sim.time(), obs::EventKind::kAggregate, receiver, sender, alpha);
 }
 
 }  // namespace lbchat::baselines

@@ -75,9 +75,7 @@ void GossipBaseStrategy::on_transfer_complete(FleetSim& sim, PairSession& s,
       // fall through to the rejection path
     }
   }
-  auto& st = sim.stats();
-  ++st.frames_rejected;
-  ++st.model_frames_rejected;
+  sim.note_frame_rejected(receiver, /*is_model=*/true);
   sim.note_pair_failure(s.vehicle_a(), s.vehicle_b());
 }
 

@@ -55,6 +55,7 @@ void ProxSkipStrategy::synchronize(FleetSim& sim) {
     for (std::size_t k = 0; k < dim; ++k) avg[k] += p[k];
     ++received;
   }
+  obs::emit(sim.time(), obs::EventKind::kRound, -1, -1, received);
   if (received == 0) return;
   const float inv = 1.0f / static_cast<float>(received);
   for (float& x : avg) x *= inv;
@@ -64,8 +65,10 @@ void ProxSkipStrategy::synchronize(FleetSim& sim) {
   for (int v = 0; v < n; ++v) {
     if (!sim.is_online(v)) continue;
     ++stats.model_sends_started;
+    ++sim.vehicle_stats(v).model_recv_started;
     if (!sim.infra_transfer_succeeds(sim.rng())) continue;
     ++stats.model_sends_completed;
+    ++sim.vehicle_stats(v).model_recv_completed;
     auto params = sim.node(v).model.params();
     if (opts_.variate_scale > 0.0) {
       auto& h = variates_[static_cast<std::size_t>(v)];
@@ -73,6 +76,7 @@ void ProxSkipStrategy::synchronize(FleetSim& sim) {
       for (std::size_t k = 0; k < dim; ++k) h[k] += hs * (avg[k] - params[k]);
     }
     std::copy(avg.begin(), avg.end(), params.begin());
+    obs::emit(sim.time(), obs::EventKind::kAggregate, v, -1, 1.0);
   }
 }
 

@@ -72,13 +72,16 @@ void RsuStrategy::on_tick(FleetSim& sim) {
       }
       // Download RSU -> vehicle.
       ++stats.model_sends_started;
+      ++sim.vehicle_stats(v).model_recv_started;
       if (sim.infra_transfer_succeeds(sim.rng())) {
         ++stats.model_sends_completed;
+        ++sim.vehicle_stats(v).model_recv_completed;
         const auto a = static_cast<float>(1.0 - opts_.vehicle_mix);
         const auto b = static_cast<float>(opts_.vehicle_mix);
         for (std::size_t k = 0; k < rsu.size(); ++k) {
           vehicle_params[k] = a * vehicle_params[k] + b * rsu[k];
         }
+        obs::emit(sim.time(), obs::EventKind::kAggregate, v, -1, opts_.vehicle_mix);
       }
       break;  // one RSU exchange per tick per vehicle
     }

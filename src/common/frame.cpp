@@ -3,6 +3,8 @@
 #include <array>
 #include <cstring>
 
+#include "obs/trace.h"
+
 namespace lbchat::frame {
 
 namespace {
@@ -77,6 +79,7 @@ std::uint32_t crc32(std::span<const std::uint8_t> data) {
 }
 
 std::vector<std::uint8_t> encode(FrameType type, std::span<const std::uint8_t> payload) {
+  LBCHAT_OBS_SPAN("frame.encode");
   const auto length = static_cast<std::uint32_t>(payload.size());
   std::vector<std::uint8_t> out;
   out.reserve(kHeaderBytes + payload.size());
@@ -90,6 +93,7 @@ std::vector<std::uint8_t> encode(FrameType type, std::span<const std::uint8_t> p
 }
 
 Decoded decode(std::span<const std::uint8_t> bytes) {
+  LBCHAT_OBS_SPAN("frame.decode");
   Decoded d;
   if (bytes.size() < kHeaderBytes) {
     d.status = FrameStatus::kTooShort;

@@ -1,8 +1,10 @@
 #include "common/log.h"
 
+#include <atomic>
 #include <cstdarg>
 #include <cstdlib>
 #include <cstring>
+#include <vector>
 
 namespace lbchat {
 
@@ -12,12 +14,15 @@ LogLevel initial_level() {
   const char* env = std::getenv("LBCHAT_LOG");
   if (env == nullptr) return LogLevel::kWarn;
   if (std::strcmp(env, "error") == 0) return LogLevel::kError;
+  if (std::strcmp(env, "warn") == 0) return LogLevel::kWarn;
   if (std::strcmp(env, "info") == 0) return LogLevel::kInfo;
   if (std::strcmp(env, "debug") == 0) return LogLevel::kDebug;
   return LogLevel::kWarn;
 }
 
-LogLevel g_level = initial_level();
+/// Relaxed atomic: the level can be read from worker threads (e.g. debug
+/// logging inside parallel local_train) while a test adjusts it.
+std::atomic<LogLevel> g_level{initial_level()};
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -31,19 +36,39 @@ const char* level_name(LogLevel level) {
 
 }  // namespace
 
-LogLevel log_level() { return g_level; }
-void set_log_level(LogLevel level) { g_level = level; }
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
+void set_log_level(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
 
 namespace detail {
 
 void vlog(LogLevel level, const char* fmt, ...) {
-  if (static_cast<int>(level) > static_cast<int>(g_level)) return;
-  std::fprintf(stderr, "[lbchat %s] ", level_name(level));
+  if (static_cast<int>(level) > static_cast<int>(log_level())) return;
+  // Format the whole line into one buffer and write it with a single stdio
+  // call: three separate writes interleave mid-line when worker threads log
+  // concurrently (stdio locks per call, not per line).
+  char prefix[32];
+  const int plen = std::snprintf(prefix, sizeof prefix, "[lbchat %s] ", level_name(level));
+  char stack_buf[512];
   va_list args;
   va_start(args, fmt);
-  std::vfprintf(stderr, fmt, args);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  const int mlen = std::vsnprintf(stack_buf, sizeof stack_buf, fmt, args);
   va_end(args);
-  std::fputc('\n', stderr);
+  if (mlen < 0) {
+    va_end(args_copy);
+    return;
+  }
+  std::vector<char> line(static_cast<std::size_t>(plen) + static_cast<std::size_t>(mlen) + 1);
+  std::memcpy(line.data(), prefix, static_cast<std::size_t>(plen));
+  if (static_cast<std::size_t>(mlen) < sizeof stack_buf) {
+    std::memcpy(line.data() + plen, stack_buf, static_cast<std::size_t>(mlen));
+  } else {
+    std::vsnprintf(line.data() + plen, static_cast<std::size_t>(mlen) + 1, fmt, args_copy);
+  }
+  va_end(args_copy);
+  line[line.size() - 1] = '\n';
+  std::fwrite(line.data(), 1, line.size(), stderr);
 }
 
 }  // namespace detail

@@ -26,10 +26,16 @@ inline double stddev(std::span<const double> v) {
   return std::sqrt(s / static_cast<double>(v.size() - 1));
 }
 
-/// Linear-interpolated percentile, p in [0, 100].
-inline double percentile(std::vector<double> v, double p) {
+/// Linear-interpolated percentile, p in [0, 100]. Copies the input only when
+/// it is not already sorted.
+inline double percentile(std::span<const double> v, double p) {
   if (v.empty()) throw std::invalid_argument{"percentile: empty"};
-  std::sort(v.begin(), v.end());
+  std::vector<double> scratch;
+  if (!std::is_sorted(v.begin(), v.end())) {
+    scratch.assign(v.begin(), v.end());
+    std::sort(scratch.begin(), scratch.end());
+    v = scratch;
+  }
   const double idx = std::clamp(p, 0.0, 100.0) / 100.0 * static_cast<double>(v.size() - 1);
   const auto lo = static_cast<std::size_t>(idx);
   const auto hi = std::min(lo + 1, v.size() - 1);
@@ -68,6 +74,17 @@ struct TimeSeries {
 
   [[nodiscard]] std::size_t size() const { return times.size(); }
   [[nodiscard]] bool empty() const { return times.empty(); }
+
+  /// Most recent value (throws on an empty series).
+  [[nodiscard]] double last() const {
+    if (values.empty()) throw std::out_of_range{"TimeSeries: empty"};
+    return values.back();
+  }
+  /// Time of the most recent sample (throws on an empty series).
+  [[nodiscard]] double last_time() const {
+    if (times.empty()) throw std::out_of_range{"TimeSeries: empty"};
+    return times.back();
+  }
 
   /// Value at time `t` by step interpolation (last value at or before t);
   /// before the first sample returns the first value.

@@ -183,11 +183,14 @@ void LbChatStrategy::on_transfer_complete(FleetSim& sim, PairSession& s, const S
         VehicleState& st = vehicles_[static_cast<std::size_t>(receiver)];
         st.cs = coreset::reduce_coreset(coreset::merge_coresets(st.cs, received), node.model,
                                         sim.config().coreset_size, node.rng);
+        obs::emit(sim.time(), obs::EventKind::kCoresetExchange, receiver, tag.from,
+                  static_cast<double>(received.size()));
       } else if (tag.kind == StageTag::kModel) {
         const nn::SparseModel sparse = nn::read_sparse_model(r);
         // Aggregate against the *sender's* coreset (the freshest estimate of
         // the sender's data distribution), merged into the receiver's own.
-        aggregate_received(sim, receiver, sparse, from_a ? chat->coreset_a : chat->coreset_b);
+        aggregate_received(sim, receiver, tag.from, sparse,
+                           from_a ? chat->coreset_a : chat->coreset_b);
       }
     } catch (const std::exception& e) {
       LBCHAT_LOG_DEBUG("chat %d<->%d: payload rejected after decode: %s", s.vehicle_a(),
@@ -196,9 +199,7 @@ void LbChatStrategy::on_transfer_complete(FleetSim& sim, PairSession& s, const S
     }
   }
   if (!ok) {
-    auto& st = sim.stats();
-    ++st.frames_rejected;
-    if (tag.kind == StageTag::kModel) ++st.model_frames_rejected;
+    sim.note_frame_rejected(receiver, tag.kind == StageTag::kModel);
     sim.note_pair_failure(s.vehicle_a(), s.vehicle_b());
     // A corrupt assist frame leaves the pair without trustworthy planning
     // info — degrade gracefully by ending the chat before the bulk stages.
@@ -310,7 +311,7 @@ void LbChatStrategy::begin_model_phase(FleetSim& sim, PairSession& s) {
   }
 }
 
-void LbChatStrategy::aggregate_received(FleetSim& sim, int receiver,
+void LbChatStrategy::aggregate_received(FleetSim& sim, int receiver, int sender,
                                         const nn::SparseModel& sparse,
                                         const coreset::Coreset& peer_coreset) {
   auto& node = sim.node(receiver);
@@ -345,6 +346,7 @@ void LbChatStrategy::aggregate_received(FleetSim& sim, int receiver,
   for (std::size_t k = 0; k < params.size(); ++k) {
     params[k] = static_cast<float>(w_self * params[k] + w_peer * peer_params[k]);
   }
+  obs::emit(sim.time(), obs::EventKind::kAggregate, receiver, sender, w_peer);
 }
 
 }  // namespace lbchat::core

@@ -64,8 +64,8 @@ class LbChatStrategy final : public engine::Strategy {
   void maybe_rebuild_coreset(engine::FleetSim& sim, int v, bool force);
   void start_chat(engine::FleetSim& sim, int a, int b);
   void begin_model_phase(engine::FleetSim& sim, engine::PairSession& s);
-  void aggregate_received(engine::FleetSim& sim, int receiver, const nn::SparseModel& sparse,
-                          const coreset::Coreset& peer_coreset);
+  void aggregate_received(engine::FleetSim& sim, int receiver, int sender,
+                          const nn::SparseModel& sparse, const coreset::Coreset& peer_coreset);
 
   LbChatOptions opts_;
   std::vector<VehicleState> vehicles_;

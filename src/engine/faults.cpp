@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
+
 namespace lbchat::engine {
 
 FaultInjector::FaultInjector(const FaultConfig& cfg, std::uint64_t seed, double extent_m,
@@ -20,7 +22,14 @@ void FaultInjector::advance(double time, double dt) {
   if (cfg_.burst_rate_per_min > 0.0) {
     // Expire first so a burst lasts its sampled duration, not duration + dt.
     bursts_.erase(std::remove_if(bursts_.begin(), bursts_.end(),
-                                 [time](const Burst& b) { return time >= b.until_s; }),
+                                 [time](const Burst& b) {
+                                   if (time >= b.until_s) {
+                                     obs::emit(time, obs::EventKind::kBurstEnd, -1, -1,
+                                               b.extra_loss);
+                                     return true;
+                                   }
+                                   return false;
+                                 }),
                   bursts_.end());
     const double p_spawn = std::min(cfg_.burst_rate_per_min / 60.0 * dt, 1.0);
     if (burst_rng_.chance(p_spawn)) {
@@ -29,6 +38,7 @@ void FaultInjector::advance(double time, double dt) {
       b.radius_m = cfg_.burst_radius_m;
       b.extra_loss = std::clamp(cfg_.burst_extra_loss, 0.0, 1.0);
       b.until_s = time + cfg_.burst_duration_s * burst_rng_.uniform(0.5, 1.5);
+      obs::emit(time, obs::EventKind::kBurstBegin, -1, -1, b.until_s);
       bursts_.push_back(b);
     }
   }
@@ -42,6 +52,7 @@ void FaultInjector::advance(double time, double dt) {
           // RNG) was never touched, so it resumes where it left off.
           offline_until_[v] = 0.0;
           --offline_count_;
+          obs::emit(time, obs::EventKind::kChurnOnline, static_cast<int>(v));
         }
         continue;
       }
@@ -50,6 +61,8 @@ void FaultInjector::advance(double time, double dt) {
         offline_until_[v] = time + std::max(dur, dt);
         ++offline_count_;
         went_offline_.push_back(static_cast<int>(v));
+        obs::emit(time, obs::EventKind::kChurnOffline, static_cast<int>(v), -1,
+                  offline_until_[v]);
       }
     }
   }

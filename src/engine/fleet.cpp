@@ -1,6 +1,7 @@
 #include "engine/fleet.h"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <stdexcept>
 
@@ -48,6 +49,7 @@ FleetSim::FleetSim(const ScenarioConfig& cfg, std::unique_ptr<Strategy> strategy
     nodes_[static_cast<std::size_t>(v)] = std::move(node);
   });
   busy_.assign(static_cast<std::size_t>(cfg.num_vehicles), nullptr);
+  vstats_.assign(static_cast<std::size_t>(cfg.num_vehicles), VehicleTransferStats{});
 }
 
 void FleetSim::for_each_vehicle(const std::function<void(std::int64_t)>& fn) const {
@@ -146,8 +148,20 @@ bool FleetSim::cooldown_passed(int a, int b) const {
 
 void FleetSim::note_pair_failure(int a, int b) {
   if (!cfg_.faults.chat_backoff || b < 0) return;
-  ++pair_backoff_[pair_key(a, b)];
+  const int consecutive = ++pair_backoff_[pair_key(a, b)];
   ++stats_.backoff_retries;
+  obs::emit(time_, obs::EventKind::kBackoffExtend, a, b, consecutive);
+}
+
+void FleetSim::note_frame_rejected(int receiver, bool is_model) {
+  ++stats_.frames_rejected;
+  if (is_model) ++stats_.model_frames_rejected;
+  if (receiver >= 0) {
+    VehicleTransferStats& vs = vehicle_stats(receiver);
+    ++vs.frames_rejected;
+    if (is_model) ++vs.model_frames_rejected;
+  }
+  obs::emit(time_, obs::EventKind::kFrameReject, receiver, -1, is_model ? 1.0 : 0.0);
 }
 
 void FleetSim::note_pair_success(int a, int b) {
@@ -184,6 +198,9 @@ PairSession& FleetSim::start_session(int a, int b) {
   busy_[static_cast<std::size_t>(b)] = s.get();
   last_chat_[pair_key(a, b)] = time_;
   ++stats_.sessions_started;
+  ++vehicle_stats(a).chats_started;
+  ++vehicle_stats(b).chats_started;
+  obs::emit(time_, obs::EventKind::kChatStart, a, b);
   sessions_.push_back(std::move(s));
   return *sessions_.back();
 }
@@ -197,6 +214,8 @@ PairSession& FleetSim::start_infra_session(int a, const Vec2& pos) {
   s->started_at_ = time_;
   busy_[static_cast<std::size_t>(a)] = s.get();
   ++stats_.sessions_started;
+  ++vehicle_stats(a).chats_started;
+  obs::emit(time_, obs::EventKind::kChatStart, a, -1);
   sessions_.push_back(std::move(s));
   return *sessions_.back();
 }
@@ -204,7 +223,13 @@ PairSession& FleetSim::start_infra_session(int a, const Vec2& pos) {
 void FleetSim::queue_transfer(PairSession& s, int from_vehicle, std::size_t bytes,
                               StageTag tag, std::vector<std::uint8_t> payload) {
   tag.from = from_vehicle;
-  if (tag.kind == StageTag::kModel && bytes > 0) ++stats_.model_sends_started;
+  const int receiver = s.peer_of(from_vehicle);
+  if (tag.kind == StageTag::kModel && bytes > 0) {
+    ++stats_.model_sends_started;
+    if (receiver >= 0) ++vehicle_stats(receiver).model_recv_started;
+    obs::emit(time_, obs::EventKind::kModelSend, from_vehicle, receiver,
+              static_cast<double>(bytes));
+  }
   if (tag.kind == StageTag::kCoreset && bytes > 0) ++stats_.coreset_sends_started;
   s.queue_.push_back(
       PairSession::Stage{tag, net::Transfer{bytes, cfg_.radio}, std::move(payload)});
@@ -223,6 +248,7 @@ double FleetSim::session_distance(const PairSession& s) const {
 }
 
 void FleetSim::tick_sessions(double dt) {
+  LBCHAT_OBS_SPAN("engine.tick_sessions");
   const net::WirelessLossModel& active_loss = cfg_.wireless_loss ? loss_ : no_loss_;
   // Iterate over a snapshot: callbacks may start new sessions.
   const std::size_t count = sessions_.size();
@@ -241,9 +267,14 @@ void FleetSim::tick_sessions(double dt) {
       ++stats_.sessions_aborted;
       // A deadline/timeout abort while a burst blacks the link out is
       // attributed to the blackout: the transfer could not make progress.
-      if (extra >= 1.0 && !s.queue_.empty()) ++stats_.sessions_lost_to_blackout;
+      const bool blackout = extra >= 1.0 && !s.queue_.empty();
+      if (blackout) ++stats_.sessions_lost_to_blackout;
+      ++vehicle_stats(s.a_).chats_aborted;
+      if (s.b_ >= 0) ++vehicle_stats(s.b_).chats_aborted;
+      obs::emit(time_, obs::EventKind::kChatAbort, s.a_, s.b_, blackout ? 1.0 : 0.0);
       s.queue_.clear();
       s.closed_ = true;
+      s.aborted_ = true;
       strategy_->on_session_aborted(*this, s);
       continue;
     }
@@ -252,7 +283,14 @@ void FleetSim::tick_sessions(double dt) {
     while (!s.queue_.empty()) {
       auto& stage = s.queue_.front();
       if (!stage.transfer.complete() && !ticked) {
-        stats_.bytes_delivered += stage.transfer.tick(d, dt, active_loss, net_rng_, extra);
+        const std::uint64_t delivered =
+            stage.transfer.tick(d, dt, active_loss, net_rng_, extra);
+        stats_.bytes_delivered += delivered;
+        if (delivered > 0) {
+          if (stage.tag.from >= 0) vehicle_stats(stage.tag.from).bytes_sent += delivered;
+          const int to = s.peer_of(stage.tag.from);
+          if (to >= 0) vehicle_stats(to).bytes_received += delivered;
+        }
         ticked = true;
       }
       if (!stage.transfer.complete()) break;
@@ -263,7 +301,11 @@ void FleetSim::tick_sessions(double dt) {
           faults_.corrupt_delivery(d, cfg_.radio.max_range_m)) {
         faults_.corrupt_payload(s.delivered_payload_);
       }
-      if (tag.kind == StageTag::kModel) ++stats_.model_sends_completed;
+      if (tag.kind == StageTag::kModel) {
+        ++stats_.model_sends_completed;
+        const int to = s.peer_of(tag.from);
+        if (to >= 0) ++vehicle_stats(to).model_recv_completed;
+      }
       if (tag.kind == StageTag::kCoreset) ++stats_.coreset_sends_completed;
       strategy_->on_transfer_complete(*this, s, tag);
       s.delivered_payload_.clear();
@@ -290,6 +332,18 @@ void FleetSim::reap_sessions() {
         busy_[static_cast<std::size_t>(s.b_)] = nullptr;
         last_chat_[pair_key(s.a_, s.b_)] = time_;
       }
+      if (!s.aborted_) {
+        const double duration = time_ - s.started_at_;
+        ++vehicle_stats(s.a_).chats_completed;
+        if (s.b_ >= 0) ++vehicle_stats(s.b_).chats_completed;
+        obs::emit(time_, obs::EventKind::kChatComplete, s.a_, s.b_, duration);
+        if (obs::events_enabled()) {
+          static const auto kChatDuration = obs::registry().histogram(
+              "chat.duration_s",
+              std::array<double, 7>{1.0, 2.0, 5.0, 10.0, 20.0, 40.0, 80.0});
+          obs::registry().observe(kChatDuration, duration);
+        }
+      }
       it = sessions_.erase(it);
     } else {
       ++it;
@@ -301,12 +355,21 @@ void FleetSim::abort_sessions_of(int v) {
   PairSession* s = busy_[static_cast<std::size_t>(v)];
   if (s == nullptr || (s->closed_ && s->queue_.empty())) return;
   ++stats_.sessions_aborted;
+  ++vehicle_stats(s->a_).chats_aborted;
+  if (s->b_ >= 0) ++vehicle_stats(s->b_).chats_aborted;
+  obs::emit(time_, obs::EventKind::kChatAbort, s->a_, s->b_, 0.0);
   s->queue_.clear();
   s->closed_ = true;
+  s->aborted_ = true;
   strategy_->on_session_aborted(*this, *s);
 }
 
 double FleetSim::default_local_train(int v) {
+  LBCHAT_OBS_SPAN("engine.local_train");
+  if (obs::events_enabled()) {
+    static const auto kTrainSteps = obs::registry().counter("train.steps");
+    obs::registry().add(kTrainSteps);
+  }
   VehicleNode& n = node(v);
   const auto idx = n.dataset.sample_batch(n.rng, static_cast<std::size_t>(cfg_.batch_size));
   std::vector<const data::Sample*> batch;
@@ -317,6 +380,7 @@ double FleetSim::default_local_train(int v) {
 }
 
 double FleetSim::mean_eval_loss() const {
+  LBCHAT_OBS_SPAN("engine.mean_eval_loss");
   if (eval_set_.empty() || nodes_.empty()) return 0.0;
   // Per-vehicle losses land in an index-addressed slot and are reduced
   // sequentially afterwards, so the sum is bit-identical for any lane count.
@@ -330,11 +394,58 @@ double FleetSim::mean_eval_loss() const {
   return sum / static_cast<double>(nodes_.size());
 }
 
+void FleetSim::eval_and_record(RunMetrics& metrics, double t) {
+  LBCHAT_OBS_SPAN("engine.mean_eval_loss");
+  if (eval_set_.empty() || nodes_.empty()) {
+    metrics.loss_curve.add(t, 0.0);
+    return;
+  }
+  // Same computation and reduction order as mean_eval_loss(): per-vehicle
+  // losses land in index-addressed slots, then one sequential sum — so the
+  // recorded curve stays bit-identical to the pre-observability engine.
+  std::vector<double> losses(nodes_.size(), 0.0);
+  for_each_vehicle([&](std::int64_t v) {
+    losses[static_cast<std::size_t>(v)] =
+        nodes_[static_cast<std::size_t>(v)]->model.weighted_loss(eval_set_);
+  });
+  double sum = 0.0;
+  for (const double l : losses) sum += l;
+  const double mean = sum / static_cast<double>(nodes_.size());
+  metrics.loss_curve.add(t, mean);
+  metrics.per_vehicle_loss.resize(nodes_.size());
+  for (std::size_t v = 0; v < nodes_.size(); ++v) {
+    metrics.per_vehicle_loss[v].add(t, losses[v]);
+  }
+  obs::emit(t, obs::EventKind::kEval, -1, -1, mean);
+}
+
+void FleetSim::publish_run_metrics() const {
+  if (!obs::events_enabled()) return;
+  auto& reg = obs::registry();
+  const auto set = [&reg](std::string_view name, double value) {
+    reg.set(reg.gauge(name), value);
+  };
+  set("transfer.bytes_delivered", static_cast<double>(stats_.bytes_delivered));
+  set("transfer.model_sends_started", stats_.model_sends_started);
+  set("transfer.model_sends_completed", stats_.model_sends_completed);
+  set("transfer.coreset_sends_started", stats_.coreset_sends_started);
+  set("transfer.coreset_sends_completed", stats_.coreset_sends_completed);
+  set("transfer.sessions_started", stats_.sessions_started);
+  set("transfer.sessions_aborted", stats_.sessions_aborted);
+  set("transfer.frames_rejected", stats_.frames_rejected);
+  set("transfer.model_frames_rejected", stats_.model_frames_rejected);
+  set("transfer.sessions_lost_to_blackout", stats_.sessions_lost_to_blackout);
+  set("transfer.backoff_retries", stats_.backoff_retries);
+  set("transfer.offline_vehicle_seconds", stats_.offline_vehicle_seconds);
+  set("transfer.model_receiving_rate", stats_.model_receiving_rate());
+  set("transfer.effective_model_receiving_rate", stats_.effective_model_receiving_rate());
+}
+
 RunMetrics FleetSim::run() {
   RunMetrics metrics;
   collect_phase();
   strategy_->setup(*this);
-  metrics.loss_curve.add(0.0, mean_eval_loss());
+  eval_and_record(metrics, 0.0);
 
   double next_train = cfg_.train_interval_s;
   double next_eval = cfg_.eval_interval_s;
@@ -348,17 +459,22 @@ RunMetrics FleetSim::run() {
     for (const int v : faults_.went_offline()) abort_sessions_of(v);
     if (faults_.offline_count() > 0) {
       stats_.offline_vehicle_seconds += cfg_.tick_s * faults_.offline_count();
+      for (int v = 0; v < num_vehicles(); ++v) {
+        if (faults_.offline(v)) vehicle_stats(v).offline_seconds += cfg_.tick_s;
+      }
       reap_sessions();
     }
     if (time_ >= next_train) {
       if (strategy_->parallel_local_train()) {
         for_each_vehicle([this](std::int64_t v) {
           if (faults_.offline(static_cast<int>(v))) return;
+          LBCHAT_OBS_SPAN("engine.local_train_lane");
           strategy_->local_train(*this, static_cast<int>(v));
         });
       } else {
         for (int v = 0; v < num_vehicles(); ++v) {
           if (faults_.offline(v)) continue;
+          LBCHAT_OBS_SPAN("engine.local_train_lane");
           strategy_->local_train(*this, v);
         }
       }
@@ -367,19 +483,21 @@ RunMetrics FleetSim::run() {
     strategy_->on_tick(*this);
     tick_sessions(cfg_.tick_s);
     if (time_ >= next_eval) {
-      metrics.loss_curve.add(time_, mean_eval_loss());
+      eval_and_record(metrics, time_);
       next_eval += cfg_.eval_interval_s;
     }
   }
   if (metrics.loss_curve.times.back() < cfg_.duration_s) {
-    metrics.loss_curve.add(cfg_.duration_s, mean_eval_loss());
+    eval_and_record(metrics, cfg_.duration_s);
   }
   metrics.transfers = stats_;
+  metrics.per_vehicle = vstats_;
   metrics.train_steps = train_steps_.load();
   metrics.final_params.reserve(nodes_.size());
   for (const auto& n : nodes_) {
     metrics.final_params.emplace_back(n->model.params().begin(), n->model.params().end());
   }
+  publish_run_metrics();
   return metrics;
 }
 

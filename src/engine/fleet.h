@@ -29,6 +29,7 @@
 #include "net/wireless.h"
 #include "nn/optim.h"
 #include "nn/policy.h"
+#include "obs/obs.h"
 #include "sim/world.h"
 
 namespace lbchat::engine {
@@ -101,6 +102,7 @@ class PairSession {
   Vec2 fixed_pos_{};
   double started_at_ = 0.0;
   bool closed_ = false;
+  bool aborted_ = false;  ///< closed by range/deadline/churn, not gracefully
   std::deque<Stage> queue_;
   std::vector<std::uint8_t> delivered_payload_;
 };
@@ -170,6 +172,10 @@ class FleetSim {
   [[nodiscard]] const std::vector<data::Sample>& eval_set() const { return eval_set_; }
   [[nodiscard]] Rng& rng() { return strategy_rng_; }
   [[nodiscard]] TransferStats& stats() { return stats_; }
+  /// Per-vehicle accounting slice (always maintained; see VehicleTransferStats).
+  [[nodiscard]] VehicleTransferStats& vehicle_stats(int v) {
+    return vstats_[static_cast<std::size_t>(v)];
+  }
 
   [[nodiscard]] double pair_distance(int a, int b) const;
   [[nodiscard]] bool in_range(int a, int b) const;
@@ -193,6 +199,9 @@ class FleetSim {
   /// both are no-ops.
   void note_pair_failure(int a, int b);
   void note_pair_success(int a, int b);
+  /// A strategy rejected a delivered frame at verification. Centralizes the
+  /// fleet + per-vehicle counters and the kFrameReject trace event.
+  void note_frame_rejected(int receiver, bool is_model);
   /// Assist info for a vehicle. `share_route = false` yields the baseline
   /// view (constant-velocity extrapolation instead of the shared route).
   [[nodiscard]] net::AssistInfo assist_info(int v, bool share_route = true) const;
@@ -227,6 +236,11 @@ class FleetSim {
 
  private:
   void collect_phase();
+  /// Evaluate the fleet at sim time `t` and record the mean + per-vehicle
+  /// losses into `metrics` (same reduction order as mean_eval_loss()).
+  void eval_and_record(RunMetrics& metrics, double t);
+  /// Mirror TransferStats into registry gauges (when events are enabled).
+  void publish_run_metrics() const;
   void tick_sessions(double dt);
   void reap_sessions();
   /// Abort every session a churned-out vehicle participates in.
@@ -250,6 +264,7 @@ class FleetSim {
   std::unordered_map<std::uint64_t, int> pair_backoff_;
   FaultInjector faults_;
   TransferStats stats_;
+  std::vector<VehicleTransferStats> vstats_;
   Rng strategy_rng_;
   Rng net_rng_;
   Rng infra_rng_;

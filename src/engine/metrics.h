@@ -51,10 +51,42 @@ struct TransferStats {
   }
 };
 
+/// Per-vehicle slice of the fleet accounting. Updated from the engine's
+/// single-threaded tick path, so it is deterministic and always on (the
+/// counters are cheap enough not to need a flag) — the run-report exporters
+/// read it without requiring tracing.
+struct VehicleTransferStats {
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t bytes_received = 0;
+  int chats_started = 0;
+  int chats_completed = 0;
+  int chats_aborted = 0;
+  /// Model transfers addressed to this vehicle.
+  int model_recv_started = 0;
+  int model_recv_completed = 0;
+  /// Delivered frames this vehicle rejected at verification.
+  int frames_rejected = 0;
+  int model_frames_rejected = 0;
+  /// Seconds spent offline due to churn.
+  double offline_seconds = 0.0;
+
+  /// Per-vehicle analogue of TransferStats::effective_model_receiving_rate().
+  [[nodiscard]] double effective_model_receiving_rate() const {
+    return model_recv_started > 0
+               ? static_cast<double>(model_recv_completed - model_frames_rejected) /
+                     model_recv_started
+               : 0.0;
+  }
+};
+
 struct RunMetrics {
   /// Mean held-out loss of all vehicles' models vs simulated time.
   TimeSeries loss_curve;
   TransferStats transfers;
+  /// Per-vehicle byte/chat/reception accounting (index = vehicle id).
+  std::vector<VehicleTransferStats> per_vehicle;
+  /// Per-vehicle held-out loss at each evaluation point (index = vehicle id).
+  std::vector<TimeSeries> per_vehicle_loss;
   /// Final model parameters, one vector per vehicle.
   std::vector<std::vector<float>> final_params;
   /// Number of local SGD steps executed across the fleet.

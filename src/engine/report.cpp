@@ -1,0 +1,38 @@
+#include "engine/report.h"
+
+namespace lbchat::engine {
+
+obs::RunReport build_run_report(std::string_view approach, const ScenarioConfig& cfg,
+                                const RunMetrics& metrics) {
+  obs::RunReport report;
+  report.approach = std::string{approach};
+  report.seed = cfg.seed;
+  report.duration_s = cfg.duration_s;
+  report.final_mean_loss =
+      metrics.loss_curve.values.empty() ? 0.0 : metrics.loss_curve.values.back();
+  report.vehicles.reserve(metrics.per_vehicle.size());
+  for (std::size_t v = 0; v < metrics.per_vehicle.size(); ++v) {
+    const VehicleTransferStats& vs = metrics.per_vehicle[v];
+    obs::VehicleReport row;
+    row.id = static_cast<int>(v);
+    row.bytes_sent = vs.bytes_sent;
+    row.bytes_received = vs.bytes_received;
+    row.chats_started = static_cast<std::uint64_t>(vs.chats_started);
+    row.chats_completed = static_cast<std::uint64_t>(vs.chats_completed);
+    row.chats_aborted = static_cast<std::uint64_t>(vs.chats_aborted);
+    row.model_recv_started = static_cast<std::uint64_t>(vs.model_recv_started);
+    row.model_recv_completed = static_cast<std::uint64_t>(vs.model_recv_completed);
+    row.frames_rejected = static_cast<std::uint64_t>(vs.frames_rejected);
+    row.online_seconds = cfg.duration_s - vs.offline_seconds;
+    row.effective_model_receiving_rate = vs.effective_model_receiving_rate();
+    if (v < metrics.per_vehicle_loss.size() && !metrics.per_vehicle_loss[v].values.empty()) {
+      const TimeSeries& ts = metrics.per_vehicle_loss[v];
+      row.first_loss = ts.values.front();
+      row.final_loss = ts.last();
+    }
+    report.vehicles.push_back(row);
+  }
+  return report;
+}
+
+}  // namespace lbchat::engine

@@ -1,0 +1,18 @@
+// Bridges RunMetrics (engine accounting) to the obs run-report exporters.
+#pragma once
+
+#include <string_view>
+
+#include "engine/metrics.h"
+#include "engine/scenario.h"
+#include "obs/export.h"
+
+namespace lbchat::engine {
+
+/// Assemble the per-vehicle run report from a finished run's metrics.
+/// Deterministic: every field derives from the simulation.
+[[nodiscard]] obs::RunReport build_run_report(std::string_view approach,
+                                              const ScenarioConfig& cfg,
+                                              const RunMetrics& metrics);
+
+}  // namespace lbchat::engine

@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "common/interpolation.h"
+#include "obs/trace.h"
 
 namespace lbchat::net {
 
@@ -50,6 +51,7 @@ double WirelessLossModel::sample_uniform_loss(Rng& rng) const {
 
 std::size_t Transfer::tick(double distance, double dt, const WirelessLossModel& loss, Rng& rng,
                            double extra_loss) {
+  LBCHAT_OBS_SPAN("net.transfer_tick");
   if (remaining_ == 0 || dt <= 0.0) return 0;
   if (distance > radio_.max_range_m) return 0;
   // Independent loss processes compose: p = 1 - (1-p_dist)(1-p_extra).

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "nn/gemm.h"
+#include "obs/trace.h"
 
 namespace lbchat::nn {
 
@@ -199,6 +200,7 @@ void Conv2d::forward(const ParamStore& store, std::span<const float> x, std::spa
 
 void Conv2d::forward(const ParamStore& store, std::span<const float> x, std::span<float> y,
                      int batch, std::vector<float>& col_scratch) const {
+  LBCHAT_OBS_SPAN("nn.conv2d_fwd");
   const auto w = store.param(w_off, static_cast<std::size_t>(out_ch) * in_ch * kernel * kernel);
   const auto b = store.param(b_off, static_cast<std::size_t>(out_ch));
   const int kdim = col_rows();
@@ -228,6 +230,7 @@ void Conv2d::backward(ParamStore& store, std::span<const float> x, std::span<con
 void Conv2d::backward(ParamStore& store, std::span<const float> x, std::span<const float> gy,
                       std::span<float> gx, int batch, std::vector<float>& col_scratch,
                       std::vector<float>& gcol_scratch) const {
+  LBCHAT_OBS_SPAN("nn.conv2d_bwd");
   const auto w = store.param(w_off, static_cast<std::size_t>(out_ch) * in_ch * kernel * kernel);
   auto gw = store.grad(w_off, static_cast<std::size_t>(out_ch) * in_ch * kernel * kernel);
   auto gb = store.grad(b_off, static_cast<std::size_t>(out_ch));

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/trace.h"
+
 namespace lbchat::nn {
 
 using data::Command;
@@ -114,6 +116,7 @@ double DrivingPolicy::sample_loss(const data::Sample& s) const {
 
 double DrivingPolicy::weighted_loss(std::span<const data::Sample> samples,
                                     std::span<const double> weights) const {
+  LBCHAT_OBS_SPAN("nn.weighted_loss");
   if (samples.empty()) return 0.0;
   if (!weights.empty() && weights.size() != samples.size()) {
     throw std::invalid_argument{"weighted_loss: weights size mismatch"};
@@ -130,6 +133,7 @@ double DrivingPolicy::weighted_loss(std::span<const data::Sample> samples,
 }
 
 double DrivingPolicy::train_batch(std::span<const data::Sample* const> batch, Optimizer& opt) {
+  LBCHAT_OBS_SPAN("nn.train_batch");
   const double loss = compute_batch_gradient(batch);
   if (!batch.empty()) opt.step(store_.params(), store_.grads());
   return loss;

@@ -1,0 +1,37 @@
+#include "obs/obs.h"
+
+#include <cstdlib>
+#include <string_view>
+
+namespace lbchat::obs {
+
+MetricsRegistry& registry() {
+  static MetricsRegistry r;
+  return r;
+}
+
+void reset() {
+  registry().reset_values();
+  tracer().clear();
+  spans().clear();
+}
+
+bool init_from_env() {
+  const char* env = std::getenv("LBCHAT_TRACE");
+  const std::string_view v = env != nullptr ? std::string_view{env} : std::string_view{};
+  bool events = false;
+  bool wall = false;
+  if (v == "1" || v == "on" || v == "all") {
+    events = true;
+    wall = true;
+  } else if (v == "events") {
+    events = true;
+  } else if (v == "spans") {
+    wall = true;
+  }
+  set_events_enabled(events);
+  set_spans_enabled(wall);
+  return events || wall;
+}
+
+}  // namespace lbchat::obs

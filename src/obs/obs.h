@@ -1,0 +1,38 @@
+// Process-wide observability surface: the global metrics registry, the event
+// tracer and span store (from obs/trace.h), and lifecycle helpers.
+//
+// Typical use from a binary:
+//
+//   lbchat::obs::init_from_env();          // honours LBCHAT_TRACE
+//   ... run the simulation ...
+//   write_file(out, lbchat::obs::chrome_trace_json(...));   // obs/export.h
+//
+// or explicitly:
+//
+//   lbchat::obs::reset();
+//   lbchat::obs::set_events_enabled(true);
+#pragma once
+
+#include "obs/registry.h"
+#include "obs/trace.h"
+
+namespace lbchat::obs {
+
+/// The process-wide metrics registry. Handles obtained from it stay valid for
+/// the process lifetime (reset() clears values, not definitions).
+[[nodiscard]] MetricsRegistry& registry();
+
+/// Clear all collected data — metric values, events, spans — without touching
+/// the enable flags or metric definitions. Call between runs so exports only
+/// contain the run that produced them.
+void reset();
+
+/// Configure from the LBCHAT_TRACE environment variable:
+///   unset/"" / "0" / "off"  -> everything disabled (the default)
+///   "1" / "on" / "all"      -> events + spans
+///   "events"                -> sim-time events only (deterministic exports)
+///   "spans"                 -> wall-clock spans only
+/// Returns true when anything was enabled.
+bool init_from_env();
+
+}  // namespace lbchat::obs

@@ -1,0 +1,212 @@
+#include "obs/registry.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace lbchat::obs {
+
+std::string_view to_string(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter: return "counter";
+    case MetricKind::kGauge: return "gauge";
+    case MetricKind::kHistogram: return "histogram";
+  }
+  return "?";
+}
+
+const MetricValue* Snapshot::find(std::string_view name) const {
+  for (const auto& m : metrics) {
+    if (m.name == name) return &m;
+  }
+  return nullptr;
+}
+
+/// One thread's slice of every counter/histogram. Written only by the owning
+/// thread (relaxed atomics keep it sanitizer-clean against the merging
+/// reader); fixed-size so no hot-path allocation ever happens.
+struct MetricsRegistry::Shard {
+  std::array<std::atomic<std::uint64_t>, kMaxCounters> counters{};
+  std::array<std::atomic<std::uint64_t>, kMaxHistograms * kBucketSlots> hist_buckets{};
+  std::array<std::atomic<std::uint64_t>, kMaxHistograms> hist_count{};
+  /// Sums in integer microunits: merging integers is order-independent, so
+  /// the snapshot sum never depends on shard (i.e. thread-creation) order.
+  std::array<std::atomic<std::int64_t>, kMaxHistograms> hist_sum_micro{};
+
+  void zero() {
+    for (auto& c : counters) c.store(0, std::memory_order_relaxed);
+    for (auto& b : hist_buckets) b.store(0, std::memory_order_relaxed);
+    for (auto& c : hist_count) c.store(0, std::memory_order_relaxed);
+    for (auto& s : hist_sum_micro) s.store(0, std::memory_order_relaxed);
+  }
+};
+
+namespace {
+
+std::uint64_t next_registry_serial() {
+  static std::atomic<std::uint64_t> serial{1};
+  return serial.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+MetricsRegistry::MetricsRegistry() : serial_(next_registry_serial()) {}
+MetricsRegistry::~MetricsRegistry() = default;
+
+MetricsRegistry::Shard& MetricsRegistry::local_shard() {
+  // Per-thread cache of the last (registry, shard) pair: after the first
+  // touch, the hot path is one comparison plus the atomic bump.
+  thread_local std::uint64_t cached_serial = 0;
+  thread_local Shard* cached_shard = nullptr;
+  if (cached_serial == serial_) return *cached_shard;
+  std::lock_guard<std::mutex> lock{mu_};
+  shards_.push_back(std::make_unique<Shard>());
+  cached_serial = serial_;
+  cached_shard = shards_.back().get();
+  return *cached_shard;
+}
+
+CounterId MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock{mu_};
+  const auto it = by_name_.find(std::string{name});
+  if (it != by_name_.end()) {
+    const Def& d = defs_[it->second];
+    if (d.kind != MetricKind::kCounter) {
+      throw std::invalid_argument{"MetricsRegistry: kind mismatch for " + std::string{name}};
+    }
+    return CounterId{d.slot};
+  }
+  if (num_counters_ >= kMaxCounters) throw std::length_error{"MetricsRegistry: counters full"};
+  const CounterId id{num_counters_++};
+  by_name_.emplace(std::string{name}, defs_.size());
+  defs_.push_back(Def{std::string{name}, MetricKind::kCounter, id.slot, {}});
+  return id;
+}
+
+GaugeId MetricsRegistry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock{mu_};
+  const auto it = by_name_.find(std::string{name});
+  if (it != by_name_.end()) {
+    const Def& d = defs_[it->second];
+    if (d.kind != MetricKind::kGauge) {
+      throw std::invalid_argument{"MetricsRegistry: kind mismatch for " + std::string{name}};
+    }
+    return GaugeId{d.slot};
+  }
+  if (num_gauges_ >= kMaxGauges) throw std::length_error{"MetricsRegistry: gauges full"};
+  const GaugeId id{num_gauges_++};
+  by_name_.emplace(std::string{name}, defs_.size());
+  defs_.push_back(Def{std::string{name}, MetricKind::kGauge, id.slot, {}});
+  return id;
+}
+
+HistogramId MetricsRegistry::histogram(std::string_view name, std::span<const double> bounds) {
+  if (bounds.size() > kBucketSlots - 1) {
+    throw std::invalid_argument{"MetricsRegistry: too many histogram bounds"};
+  }
+  if (!std::is_sorted(bounds.begin(), bounds.end())) {
+    throw std::invalid_argument{"MetricsRegistry: histogram bounds must be sorted"};
+  }
+  std::lock_guard<std::mutex> lock{mu_};
+  const auto it = by_name_.find(std::string{name});
+  if (it != by_name_.end()) {
+    const Def& d = defs_[it->second];
+    if (d.kind != MetricKind::kHistogram) {
+      throw std::invalid_argument{"MetricsRegistry: kind mismatch for " + std::string{name}};
+    }
+    return HistogramId{d.slot};
+  }
+  if (num_histograms_ >= kMaxHistograms) {
+    throw std::length_error{"MetricsRegistry: histograms full"};
+  }
+  const HistogramId id{num_histograms_++};
+  by_name_.emplace(std::string{name}, defs_.size());
+  defs_.push_back(
+      Def{std::string{name}, MetricKind::kHistogram, id.slot, {bounds.begin(), bounds.end()}});
+  return id;
+}
+
+void MetricsRegistry::add(CounterId id, std::uint64_t delta) {
+  local_shard().counters[id.slot].fetch_add(delta, std::memory_order_relaxed);
+}
+
+void MetricsRegistry::set(GaugeId id, double value) {
+  gauges_[id.slot].store(value, std::memory_order_relaxed);
+}
+
+void MetricsRegistry::observe(HistogramId id, double value) {
+  Shard& s = local_shard();
+  std::vector<double> bounds;
+  {
+    // Bounds are immutable after registration; copy-free lookup would need
+    // the lock anyway, and observe sits off the per-sample hot path.
+    std::lock_guard<std::mutex> lock{mu_};
+    for (const Def& d : defs_) {
+      if (d.kind == MetricKind::kHistogram && d.slot == id.slot) {
+        bounds = d.bounds;
+        break;
+      }
+    }
+  }
+  std::size_t bucket = bounds.size();  // overflow by default
+  for (std::size_t i = 0; i < bounds.size(); ++i) {
+    if (value <= bounds[i]) {
+      bucket = i;
+      break;
+    }
+  }
+  s.hist_buckets[id.slot * kBucketSlots + bucket].fetch_add(1, std::memory_order_relaxed);
+  s.hist_count[id.slot].fetch_add(1, std::memory_order_relaxed);
+  s.hist_sum_micro[id.slot].fetch_add(std::llround(value * 1e6), std::memory_order_relaxed);
+}
+
+Snapshot MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock{mu_};
+  Snapshot snap;
+  snap.metrics.reserve(defs_.size());
+  for (const Def& d : defs_) {
+    MetricValue m;
+    m.name = d.name;
+    m.kind = d.kind;
+    switch (d.kind) {
+      case MetricKind::kCounter: {
+        std::uint64_t total = 0;
+        for (const auto& sh : shards_) {
+          total += sh->counters[d.slot].load(std::memory_order_relaxed);
+        }
+        m.count = total;
+        break;
+      }
+      case MetricKind::kGauge:
+        m.value = gauges_[d.slot].load(std::memory_order_relaxed);
+        break;
+      case MetricKind::kHistogram: {
+        m.bounds = d.bounds;
+        m.buckets.assign(d.bounds.size() + 1, 0);
+        std::int64_t sum_micro = 0;
+        for (const auto& sh : shards_) {
+          m.count += sh->hist_count[d.slot].load(std::memory_order_relaxed);
+          sum_micro += sh->hist_sum_micro[d.slot].load(std::memory_order_relaxed);
+          for (std::size_t b = 0; b < m.buckets.size(); ++b) {
+            m.buckets[b] +=
+                sh->hist_buckets[d.slot * kBucketSlots + b].load(std::memory_order_relaxed);
+          }
+        }
+        m.value = static_cast<double>(sum_micro) / 1e6;
+        break;
+      }
+    }
+    snap.metrics.push_back(std::move(m));
+  }
+  std::sort(snap.metrics.begin(), snap.metrics.end(),
+            [](const MetricValue& a, const MetricValue& b) { return a.name < b.name; });
+  return snap;
+}
+
+void MetricsRegistry::reset_values() {
+  std::lock_guard<std::mutex> lock{mu_};
+  for (const auto& sh : shards_) sh->zero();
+  for (auto& g : gauges_) g.store(0.0, std::memory_order_relaxed);
+}
+
+}  // namespace lbchat::obs

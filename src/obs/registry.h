@@ -1,0 +1,128 @@
+// Fleet-wide metrics registry: named counters, gauges, and histograms.
+//
+// Counters and histograms are sharded per thread — the hot-path `add` /
+// `observe` is a relaxed atomic bump in a shard only the calling thread
+// writes — and `snapshot()` merges the shards into one deterministic view:
+// counter totals and histogram bucket counts are integer sums (commutative,
+// so the result is independent of thread count and scheduling), histogram
+// sums are accumulated in integer microunits for the same reason, and the
+// merged metrics are sorted by name. Gauges are plain last-write slots meant
+// to be set from the single-threaded simulation path (e.g. publishing
+// TransferStats totals at the end of a run).
+//
+// Determinism contract: everything a snapshot exposes is a function of the
+// *simulation*, never of wall-clock time or thread scheduling — wall-clock
+// measurements belong in the span store (obs/trace.h), which is exported
+// segregated from the deterministic sections.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+namespace lbchat::obs {
+
+enum class MetricKind : std::uint8_t { kCounter, kGauge, kHistogram };
+
+[[nodiscard]] std::string_view to_string(MetricKind kind);
+
+// Typed handles: cheap value types returned by registration, resolved to a
+// direct slot index on the hot path. Registering the same name twice returns
+// the same handle (the kind must match).
+struct CounterId {
+  std::uint32_t slot = 0;
+};
+struct GaugeId {
+  std::uint32_t slot = 0;
+};
+struct HistogramId {
+  std::uint32_t slot = 0;
+};
+
+/// One merged metric in a snapshot.
+struct MetricValue {
+  std::string name;
+  MetricKind kind = MetricKind::kCounter;
+  std::uint64_t count = 0;  ///< counter total, or histogram observation count
+  double value = 0.0;       ///< gauge value, or histogram sum
+  std::vector<double> bounds;           ///< histogram upper bounds (empty otherwise)
+  std::vector<std::uint64_t> buckets;   ///< bounds.size()+1 entries (last = overflow)
+};
+
+/// Deterministic merged view of the registry, sorted by metric name.
+struct Snapshot {
+  std::vector<MetricValue> metrics;
+
+  /// Lookup helper for tests/reports; nullptr when absent.
+  [[nodiscard]] const MetricValue* find(std::string_view name) const;
+};
+
+class MetricsRegistry {
+ public:
+  /// Hard slot caps: shards are fixed-size arrays so the hot path never
+  /// allocates or resizes (a growing vector would race with snapshot()).
+  static constexpr std::size_t kMaxCounters = 256;
+  static constexpr std::size_t kMaxGauges = 128;
+  static constexpr std::size_t kMaxHistograms = 64;
+  /// Bucket slots per histogram, including the overflow bucket.
+  static constexpr std::size_t kBucketSlots = 16;
+
+  MetricsRegistry();
+  ~MetricsRegistry();
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // --- registration (get-or-create by name; throws on kind mismatch or
+  // slot exhaustion) ---
+  CounterId counter(std::string_view name);
+  GaugeId gauge(std::string_view name);
+  /// `bounds` are strictly increasing upper bucket bounds (at most
+  /// kBucketSlots-1 of them); an observation lands in the first bucket whose
+  /// bound is >= value, or the overflow bucket.
+  HistogramId histogram(std::string_view name, std::span<const double> bounds);
+
+  // --- hot path ---
+  void add(CounterId id, std::uint64_t delta = 1);
+  void set(GaugeId id, double value);
+  void observe(HistogramId id, double value);
+
+  /// Merge all shards into a deterministic, name-sorted snapshot. Call with
+  /// worker threads quiescent (between simulation phases / after a run).
+  [[nodiscard]] Snapshot snapshot() const;
+
+  /// Zero every counter/gauge/histogram value. Metric *definitions* (names,
+  /// handles) survive, so cached handles stay valid across runs.
+  void reset_values();
+
+ private:
+  struct Shard;
+  struct Def {
+    std::string name;
+    MetricKind kind;
+    std::uint32_t slot;
+    std::vector<double> bounds;  // histograms only
+  };
+
+  Shard& local_shard();
+
+  const std::uint64_t serial_;  ///< distinguishes registries for the TL cache
+  mutable std::mutex mu_;
+  std::vector<Def> defs_;
+  std::unordered_map<std::string, std::size_t> by_name_;
+  std::uint32_t num_counters_ = 0;
+  std::uint32_t num_gauges_ = 0;
+  std::uint32_t num_histograms_ = 0;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::array<std::atomic<double>, kMaxGauges> gauges_{};
+};
+
+}  // namespace lbchat::obs

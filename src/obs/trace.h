@@ -1,0 +1,158 @@
+// Sim-time event tracing and wall-clock spans.
+//
+// Two strictly separated record kinds:
+//
+//  * Events — structured, sim-time-stamped protocol/fault occurrences
+//    (chat start/abort/complete, frame reject, burst begin/end, churn
+//    offline/online, backoff extension, aggregation, coreset exchange, ...).
+//    They are emitted from the engine's single-threaded tick path (or from
+//    strategy callbacks, which run on it), so their order and content are a
+//    pure function of the scenario: the JSONL export of an enabled run is
+//    byte-identical at any thread count. Stored in one bounded ring buffer
+//    with drop-oldest semantics and an explicit dropped counter (no silent
+//    truncation).
+//
+//  * Spans — RAII wall-clock timings around hot paths (conv/GEMM, local
+//    training, evaluation, the wireless tick, frame encode/decode). These
+//    are inherently nondeterministic, so they live in per-thread ring
+//    buffers and are exported segregated from the sim-time sections (their
+//    own process track in the Chrome trace; never in the JSONL/metrics
+//    exports).
+//
+// Everything is gated by two process-wide flags (relaxed atomics): with both
+// off — the default — emission points reduce to one load + branch, and runs
+// are bit-identical to a build without this subsystem.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string_view>
+#include <vector>
+
+namespace lbchat::obs {
+
+enum class EventKind : std::uint8_t {
+  kChatStart = 0,      ///< pairwise session opened (a, b; b = -1 for RSU)
+  kChatComplete,       ///< session drained gracefully (value = duration_s)
+  kChatAbort,          ///< range loss / deadline / churn (value = 1 if blackout)
+  kModelSend,          ///< model transfer queued (a = sender, b = receiver, value = wire bytes)
+  kFrameReject,        ///< envelope/payload verification failed (a = receiver, value = 1 if model)
+  kCoresetExchange,    ///< coreset absorbed (a = receiver, b = sender, value = |C|)
+  kAggregate,          ///< model merged (a = receiver, b = sender or -1, value = peer weight)
+  kBurstBegin,         ///< interference burst spawned (value = end time)
+  kBurstEnd,           ///< interference burst expired
+  kChurnOffline,       ///< vehicle dropped out (a = vehicle, value = rejoin time)
+  kChurnOnline,        ///< vehicle rejoined (a = vehicle)
+  kBackoffExtend,      ///< pair cooldown extended (a, b, value = consecutive failures)
+  kRound,              ///< synchronization round fired (value = participants)
+  kEval,               ///< fleet evaluation point (value = mean held-out loss)
+};
+
+[[nodiscard]] std::string_view to_string(EventKind kind);
+
+/// One sim-time event. POD; every field is deterministic.
+struct Event {
+  double t = 0.0;  ///< simulated seconds
+  EventKind kind = EventKind::kChatStart;
+  std::int32_t a = -1;
+  std::int32_t b = -1;
+  double value = 0.0;
+};
+
+/// Bounded drop-oldest ring of sim-time events.
+class EventTracer {
+ public:
+  void emit(const Event& e);
+  /// Events in emission order (oldest first).
+  [[nodiscard]] std::vector<Event> events() const;
+  [[nodiscard]] std::uint64_t dropped() const;
+  /// Applies to subsequently emitted events; existing content is kept.
+  void set_capacity(std::size_t cap);
+  void clear();
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<Event> ring_;
+  std::size_t cap_ = 1u << 18;
+  std::size_t next_ = 0;  ///< overwrite position once the ring is full
+  std::uint64_t dropped_ = 0;
+};
+
+/// One closed wall-clock span.
+struct Span {
+  const char* name = nullptr;  ///< must be a string literal
+  std::uint64_t t0_ns = 0;     ///< monotonic clock
+  std::uint64_t dur_ns = 0;
+  std::uint32_t tid = 0;  ///< dense per-thread track index (registration order)
+};
+
+/// Per-thread drop-oldest rings of wall-clock spans.
+class SpanStore {
+ public:
+  void record(const char* name, std::uint64_t t0_ns, std::uint64_t t1_ns);
+  /// All spans, sorted by (tid, t0) — i.e. time-ordered within each track.
+  /// Call with worker threads quiescent.
+  [[nodiscard]] std::vector<Span> spans() const;
+  [[nodiscard]] std::uint64_t dropped() const;
+  /// Applies to buffers of threads that first record after the call.
+  void set_capacity_per_thread(std::size_t cap);
+  void clear();
+
+ private:
+  struct Buffer;
+  Buffer& local_buffer();
+
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<Buffer>> buffers_;
+  std::size_t cap_ = 1u << 16;
+  std::uint64_t epoch_ = 1;  ///< bumped by clear() so cached buffers re-register
+};
+
+// --- process-wide enable flags (relaxed; checked on every emission point) ---
+[[nodiscard]] bool events_enabled();
+[[nodiscard]] bool spans_enabled();
+void set_events_enabled(bool on);
+void set_spans_enabled(bool on);
+
+/// Monotonic wall clock for spans.
+[[nodiscard]] std::uint64_t monotonic_ns();
+
+// --- global sinks (one per process; see obs/obs.h for lifecycle helpers) ---
+[[nodiscard]] EventTracer& tracer();
+[[nodiscard]] SpanStore& spans();
+
+/// Emit a sim-time event iff event tracing is enabled.
+inline void emit(double t, EventKind kind, int a = -1, int b = -1, double value = 0.0) {
+  if (events_enabled()) {
+    tracer().emit(Event{t, kind, a, b, value});
+  }
+}
+
+/// RAII wall-clock span; reads the clock only when span tracing is enabled.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name) : name_(spans_enabled() ? name : nullptr) {
+    if (name_ != nullptr) t0_ = monotonic_ns();
+  }
+  ~ScopedSpan() {
+    if (name_ != nullptr) spans().record(name_, t0_, monotonic_ns());
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  const char* name_;
+  std::uint64_t t0_ = 0;
+};
+
+#define LBCHAT_OBS_SPAN_CONCAT2(a, b) a##b
+#define LBCHAT_OBS_SPAN_CONCAT(a, b) LBCHAT_OBS_SPAN_CONCAT2(a, b)
+/// Times the enclosing scope under `name` (a string literal) when span
+/// tracing is on; a relaxed load + branch otherwise.
+#define LBCHAT_OBS_SPAN(name) \
+  ::lbchat::obs::ScopedSpan LBCHAT_OBS_SPAN_CONCAT(lbchat_obs_span_, __LINE__) { name }
+
+}  // namespace lbchat::obs

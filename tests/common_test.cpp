@@ -330,6 +330,36 @@ TEST(TimeSeriesTest, RejectsDecreasingTime) {
   EXPECT_THROW(ts.add(4.0, 1.0), std::invalid_argument);
 }
 
+TEST(TimeSeriesTest, EmptySeriesThrows) {
+  const TimeSeries ts;
+  EXPECT_TRUE(ts.empty());
+  EXPECT_THROW((void)ts.at(0.0), std::out_of_range);
+  EXPECT_THROW((void)ts.last(), std::out_of_range);
+  EXPECT_THROW((void)ts.last_time(), std::out_of_range);
+}
+
+TEST(TimeSeriesTest, LastAndEqualTimes) {
+  TimeSeries ts;
+  ts.add(1.0, 3.0);
+  EXPECT_DOUBLE_EQ(ts.last(), 3.0);
+  EXPECT_DOUBLE_EQ(ts.last_time(), 1.0);
+  // Non-decreasing means equal timestamps are allowed; last() tracks the
+  // newest sample.
+  ts.add(1.0, 2.0);
+  EXPECT_EQ(ts.size(), 2u);
+  EXPECT_DOUBLE_EQ(ts.last(), 2.0);
+  EXPECT_DOUBLE_EQ(ts.last_time(), 1.0);
+}
+
+TEST(StatsTest, PercentileSortedInput) {
+  // Already-sorted spans take the no-copy path; results must match the
+  // unsorted path exactly.
+  const std::vector<double> sorted{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(percentile(sorted, 50.0), 2.5);
+  EXPECT_DOUBLE_EQ(percentile(sorted, 25.0), 1.75);
+  EXPECT_DOUBLE_EQ(percentile(std::vector<double>{7.0}, 99.0), 7.0);
+}
+
 TEST(TimeSeriesTest, FirstTimeBelow) {
   TimeSeries ts;
   ts.add(0.0, 1.0);
