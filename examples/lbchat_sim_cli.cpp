@@ -6,7 +6,8 @@
 //   lbchat_sim_cli [--approach NAME] [--vehicles N] [--duration S]
 //                  [--coreset N] [--seed N] [--no-wireless-loss] [--eval]
 //                  [--trace-out F] [--events-out F] [--metrics-out F]
-//                  [--report-out F]
+//                  [--report-out F] [--checkpoint-out F] [--resume-from F]
+//                  [--checkpoint-every S]
 //
 // Approaches: ProxSkip  RSU-L  DFL-DDS  DP  LbChat  SCO
 //             "LbChat(equal-comp)"  "LbChat(avg-agg)"
@@ -15,8 +16,11 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "baselines/factory.h"
+#include "common/bytes.h"
+#include "engine/checkpoint.h"
 #include "engine/fleet.h"
 #include "engine/report.h"
 #include "eval/online.h"
@@ -39,7 +43,11 @@ void usage() {
                "                    enables sim-event + wall-clock span tracing\n"
                "  --events-out F    sim-time event log, one JSON object per line\n"
                "  --metrics-out F   merged metrics-registry snapshot as JSON\n"
-               "  --report-out F    per-vehicle run report (.csv => CSV, else JSON)\n");
+               "  --report-out F    per-vehicle run report (.csv => CSV, else JSON)\n"
+               "  --checkpoint-out F   write a run-state checkpoint at the horizon\n"
+               "  --resume-from F      restore run state from a checkpoint first\n"
+               "  --checkpoint-every S also checkpoint periodically (sim seconds;\n"
+               "                       overwrites --checkpoint-out each time)\n");
 }
 
 bool write_file(const std::string& path, const std::string& content) {
@@ -58,6 +66,28 @@ bool ends_with(const std::string& s, const char* suffix) {
   return s.size() >= n && s.compare(s.size() - n, n, suffix) == 0;
 }
 
+bool read_file(const std::string& path, std::vector<std::uint8_t>& out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot read %s\n", path.c_str());
+    return false;
+  }
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  out.resize(size > 0 ? static_cast<std::size_t>(size) : 0);
+  const bool ok = out.empty() || std::fread(out.data(), 1, out.size(), f) == out.size();
+  std::fclose(f);
+  return ok;
+}
+
+bool save_checkpoint_file(const lbchat::engine::FleetSim& sim, const std::string& path) {
+  lbchat::ByteWriter w;
+  sim.save_checkpoint(w);
+  const auto& bytes = w.bytes();
+  return write_file(path, std::string{bytes.begin(), bytes.end()});
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -72,6 +102,9 @@ int main(int argc, char** argv) {
   std::string events_out;
   std::string metrics_out;
   std::string report_out;
+  std::string checkpoint_out;
+  std::string resume_from;
+  double checkpoint_every = 0.0;
 
   for (int i = 1; i < argc; ++i) {
     const auto need_value = [&](const char* flag) -> const char* {
@@ -106,6 +139,12 @@ int main(int argc, char** argv) {
       metrics_out = need_value("--metrics-out");
     } else if (std::strcmp(argv[i], "--report-out") == 0) {
       report_out = need_value("--report-out");
+    } else if (std::strcmp(argv[i], "--checkpoint-out") == 0) {
+      checkpoint_out = need_value("--checkpoint-out");
+    } else if (std::strcmp(argv[i], "--resume-from") == 0) {
+      resume_from = need_value("--resume-from");
+    } else if (std::strcmp(argv[i], "--checkpoint-every") == 0) {
+      checkpoint_every = std::atof(need_value("--checkpoint-every"));
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
       usage();
@@ -146,7 +185,35 @@ int main(int argc, char** argv) {
   if (!trace_out.empty()) obs::set_spans_enabled(true);
 
   engine::FleetSim sim{cfg, baselines::make_strategy(approach)};
-  const engine::RunMetrics m = sim.run();
+
+  if (!resume_from.empty()) {
+    std::vector<std::uint8_t> bytes;
+    if (!read_file(resume_from, bytes)) return 1;
+    ByteReader r{bytes};
+    const engine::CkptStatus st = sim.restore(r);
+    if (st != engine::CkptStatus::kOk) {
+      std::fprintf(stderr, "cannot resume from %s: %s\n", resume_from.c_str(),
+                   std::string{engine::to_string(st)}.c_str());
+      return 1;
+    }
+    std::printf("resumed from %s at t=%.1fs\n", resume_from.c_str(), sim.time());
+  }
+
+  sim.prepare();
+  if (checkpoint_every > 0.0 && !checkpoint_out.empty()) {
+    double next_ckpt = sim.time() + checkpoint_every;
+    while (sim.time() < cfg.duration_s) {
+      sim.run_until(next_ckpt < cfg.duration_s ? next_ckpt : cfg.duration_s);
+      if (!save_checkpoint_file(sim, checkpoint_out)) return 1;
+      next_ckpt += checkpoint_every;
+    }
+  } else {
+    sim.run_until(cfg.duration_s);
+    // The checkpoint captures the pre-finalize state, so resuming it with a
+    // longer --duration continues the run bit-identically.
+    if (!checkpoint_out.empty() && !save_checkpoint_file(sim, checkpoint_out)) return 1;
+  }
+  const engine::RunMetrics m = sim.finalize();
 
   int export_failures = 0;
   if (!trace_out.empty() || !events_out.empty() || !metrics_out.empty() ||

@@ -1,6 +1,9 @@
 #include "baselines/dfl_dds.h"
 
 #include <algorithm>
+#include <stdexcept>
+
+#include "common/bytes.h"
 
 #include "common/stats.h"
 
@@ -83,6 +86,26 @@ void DflDdsStrategy::aggregate(FleetSim& sim, int receiver, int sender,
                 best_alpha * (k < sender_comp.size() ? sender_comp[k] : 0.0);
   }
   obs::emit(sim.time(), obs::EventKind::kAggregate, receiver, sender, best_alpha);
+}
+
+void DflDdsStrategy::save_state(const FleetSim& sim, ByteWriter& w) const {
+  (void)sim;
+  w.write_u32(static_cast<std::uint32_t>(compositions_.size()));
+  for (const auto& row : compositions_) w.write_f64_vec(row);
+  w.write_f64(next_round_s_);
+}
+
+void DflDdsStrategy::load_state(FleetSim& sim, ByteReader& r) {
+  const auto n = r.read_u32();
+  if (n != static_cast<std::uint32_t>(sim.num_vehicles())) {
+    throw std::runtime_error{"DFL-DDS::load_state: vehicle count mismatch"};
+  }
+  compositions_.assign(n, {});
+  for (auto& row : compositions_) {
+    row = r.read_f64_vec();
+    if (row.size() != n) throw std::runtime_error{"DFL-DDS::load_state: row length mismatch"};
+  }
+  next_round_s_ = r.read_f64();
 }
 
 }  // namespace lbchat::baselines

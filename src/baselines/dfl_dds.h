@@ -34,6 +34,10 @@ class DflDdsStrategy final : public GossipBaseStrategy {
     return compositions_[static_cast<std::size_t>(v)];
   }
 
+  // Checkpoint hooks: composition vectors + the round schedule.
+  void save_state(const engine::FleetSim& sim, ByteWriter& w) const override;
+  void load_state(engine::FleetSim& sim, ByteReader& r) override;
+
  protected:
   void aggregate(engine::FleetSim& sim, int receiver, int sender,
                  const std::vector<float>& peer_params,

@@ -1,6 +1,9 @@
 #include "baselines/proxskip.h"
 
 #include <algorithm>
+#include <stdexcept>
+
+#include "common/bytes.h"
 
 namespace lbchat::baselines {
 
@@ -78,6 +81,27 @@ void ProxSkipStrategy::synchronize(FleetSim& sim) {
     std::copy(avg.begin(), avg.end(), params.begin());
     obs::emit(sim.time(), obs::EventKind::kAggregate, v, -1, 1.0);
   }
+}
+
+void ProxSkipStrategy::save_state(const FleetSim& sim, ByteWriter& w) const {
+  (void)sim;
+  w.write_u32(static_cast<std::uint32_t>(variates_.size()));
+  for (const auto& h : variates_) w.write_f32_vec(h);
+  w.write_i32(trained_since_round_.load());
+}
+
+void ProxSkipStrategy::load_state(FleetSim& sim, ByteReader& r) {
+  const auto n = r.read_u32();
+  if (n != static_cast<std::uint32_t>(sim.num_vehicles())) {
+    throw std::runtime_error{"ProxSkip::load_state: vehicle count mismatch"};
+  }
+  const std::size_t params = sim.node(0).model.param_count();
+  variates_.assign(n, {});
+  for (auto& h : variates_) {
+    h = r.read_f32_vec();
+    if (h.size() != params) throw std::runtime_error{"ProxSkip::load_state: variate size mismatch"};
+  }
+  trained_since_round_.store(r.read_i32());
 }
 
 }  // namespace lbchat::baselines

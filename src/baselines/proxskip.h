@@ -36,6 +36,10 @@ class ProxSkipStrategy final : public engine::Strategy {
   void local_train(engine::FleetSim& sim, int v) override;
   void on_tick(engine::FleetSim& sim) override;
 
+  // Checkpoint hooks: control variates + the round-progress counter.
+  void save_state(const engine::FleetSim& sim, ByteWriter& w) const override;
+  void load_state(engine::FleetSim& sim, ByteReader& r) override;
+
  private:
   void synchronize(engine::FleetSim& sim);
 

@@ -33,6 +33,11 @@ class RsuStrategy final : public engine::Strategy {
 
   [[nodiscard]] const std::vector<Vec2>& rsu_positions() const { return positions_; }
 
+  // Checkpoint hooks: RSU placement/models + per-pair visit cooldowns
+  // (setup() also resolves range_m from the radio, so it round-trips too).
+  void save_state(const engine::FleetSim& sim, ByteWriter& w) const override;
+  void load_state(engine::FleetSim& sim, ByteReader& r) override;
+
  private:
   RsuOptions opts_;
   std::vector<Vec2> positions_;

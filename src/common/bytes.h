@@ -47,6 +47,9 @@ class ByteWriter {
     write_raw(v.data(), v.size());
   }
 
+  /// Append raw bytes with no length prefix (pre-framed blobs).
+  void append_raw(std::span<const std::uint8_t> v) { write_raw(v.data(), v.size()); }
+
   [[nodiscard]] const std::vector<std::uint8_t>& bytes() const { return buf_; }
   [[nodiscard]] std::vector<std::uint8_t> take() { return std::move(buf_); }
   [[nodiscard]] std::size_t size() const { return buf_.size(); }
@@ -95,6 +98,8 @@ class ByteReader {
 
   [[nodiscard]] bool exhausted() const { return pos_ == data_.size(); }
   [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
+  /// View of the unread remainder; does not consume.
+  [[nodiscard]] std::span<const std::uint8_t> rest() const { return data_.subspan(pos_); }
 
  private:
   template <typename T>
@@ -115,7 +120,9 @@ class ByteReader {
       throw std::out_of_range{"ByteReader: underflow"};
     }
     std::vector<T> v(n);
-    std::memcpy(v.data(), data_.data() + pos_, n * sizeof(T));
+    // Guard: memcpy with a null destination is UB even for zero bytes, and
+    // an empty vector's data() may be null.
+    if (n != 0) std::memcpy(v.data(), data_.data() + pos_, n * sizeof(T));
     pos_ += n * sizeof(T);
     return v;
   }

@@ -31,9 +31,10 @@ inline constexpr std::size_t kHeaderBytes = 4 + 1 + 1 + 4 + 4;
 
 /// Payload discriminator carried in the header.
 enum class FrameType : std::uint8_t {
-  kAssist = 0,   ///< assistive information (pose, velocity, bandwidth)
-  kCoreset = 1,  ///< a coreset (samples + in-coreset weights)
-  kModel = 2,    ///< a (top-k sparsified) model
+  kAssist = 0,      ///< assistive information (pose, velocity, bandwidth)
+  kCoreset = 1,     ///< a coreset (samples + in-coreset weights)
+  kModel = 2,       ///< a (top-k sparsified) model
+  kCheckpoint = 3,  ///< a full FleetSim run-state checkpoint (engine/checkpoint.h)
 };
 
 enum class FrameStatus : std::uint8_t {

@@ -1,5 +1,7 @@
 #include "common/rng.h"
 
+#include "common/bytes.h"
+
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
@@ -130,6 +132,20 @@ std::vector<std::size_t> Rng::permutation(std::size_t n) {
     std::swap(p[i - 1], p[j]);
   }
   return p;
+}
+
+void Rng::save(ByteWriter& w) const {
+  w.write_u64(seed_);
+  for (const auto s : s_) w.write_u64(s);
+  w.write_u8(have_spare_normal_ ? 1 : 0);
+  w.write_f64(spare_normal_);
+}
+
+void Rng::load(ByteReader& r) {
+  seed_ = r.read_u64();
+  for (auto& s : s_) s = r.read_u64();
+  have_spare_normal_ = r.read_u8() != 0;
+  spare_normal_ = r.read_f64();
 }
 
 }  // namespace lbchat

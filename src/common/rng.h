@@ -12,6 +12,9 @@
 
 namespace lbchat {
 
+class ByteWriter;
+class ByteReader;
+
 /// xoshiro256** seeded via SplitMix64. Small, fast, and good enough statistical
 /// quality for simulation workloads.
 class Rng {
@@ -51,6 +54,12 @@ class Rng {
   [[nodiscard]] std::vector<std::size_t> permutation(std::size_t n);
 
   [[nodiscard]] std::uint64_t seed_material() const { return seed_; }
+
+  /// Serialize/restore the complete generator state (seed material, the
+  /// xoshiro words, and the cached Box-Muller spare), so a restored stream
+  /// continues bit-identically.
+  void save(ByteWriter& w) const;
+  void load(ByteReader& r);
 
  private:
   std::uint64_t seed_;  // original seed material, used by fork()

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <exception>
+#include <stdexcept>
 #include <limits>
 
 #include "common/bytes.h"
@@ -347,6 +348,53 @@ void LbChatStrategy::aggregate_received(FleetSim& sim, int receiver, int sender,
     params[k] = static_cast<float>(w_self * params[k] + w_peer * peer_params[k]);
   }
   obs::emit(sim.time(), obs::EventKind::kAggregate, receiver, sender, w_peer);
+}
+
+void LbChatStrategy::save_state(const engine::FleetSim& sim, ByteWriter& w) const {
+  (void)sim;
+  w.write_u32(static_cast<std::uint32_t>(vehicles_.size()));
+  for (const VehicleState& st : vehicles_) {
+    coreset::write_coreset(w, st.cs);
+    w.write_f64(st.last_rebuild_s);
+  }
+}
+
+void LbChatStrategy::load_state(engine::FleetSim& sim, ByteReader& r) {
+  const auto n = r.read_u32();
+  if (n != static_cast<std::uint32_t>(sim.num_vehicles())) {
+    throw std::runtime_error{"LbChat::load_state: vehicle count mismatch"};
+  }
+  vehicles_.clear();
+  vehicles_.resize(n);
+  for (VehicleState& st : vehicles_) {
+    st.cs = coreset::read_coreset(r, sim.config().policy.bev);
+    st.last_rebuild_s = r.read_f64();
+  }
+}
+
+void LbChatStrategy::save_session_state(const engine::FleetSim& sim,
+                                        const engine::PairSession& s, ByteWriter& w) const {
+  (void)sim;
+  const auto* chat = static_cast<const ChatData*>(s.data.get());
+  w.write_u8(chat != nullptr ? 1 : 0);
+  if (chat == nullptr) return;
+  coreset::write_coreset(w, chat->coreset_a);
+  coreset::write_coreset(w, chat->coreset_b);
+  w.write_u8(chat->a_received_coreset ? 1 : 0);
+  w.write_u8(chat->b_received_coreset ? 1 : 0);
+  w.write_f64(chat->contact_estimate_s);
+}
+
+void LbChatStrategy::load_session_state(engine::FleetSim& sim, engine::PairSession& s,
+                                        ByteReader& r) {
+  if (r.read_u8() == 0) return;
+  auto chat = std::make_shared<ChatData>();
+  chat->coreset_a = coreset::read_coreset(r, sim.config().policy.bev);
+  chat->coreset_b = coreset::read_coreset(r, sim.config().policy.bev);
+  chat->a_received_coreset = r.read_u8() != 0;
+  chat->b_received_coreset = r.read_u8() != 0;
+  chat->contact_estimate_s = r.read_f64();
+  s.data = std::move(chat);
 }
 
 }  // namespace lbchat::core

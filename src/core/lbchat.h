@@ -51,6 +51,14 @@ class LbChatStrategy final : public engine::Strategy {
   void on_session_idle(engine::FleetSim& sim, engine::PairSession& s) override;
   void on_session_aborted(engine::FleetSim& sim, engine::PairSession& s) override;
 
+  // Checkpoint hooks: per-vehicle coreset stores + per-session chat scratch.
+  void save_state(const engine::FleetSim& sim, ByteWriter& w) const override;
+  void load_state(engine::FleetSim& sim, ByteReader& r) override;
+  void save_session_state(const engine::FleetSim& sim, const engine::PairSession& s,
+                          ByteWriter& w) const override;
+  void load_session_state(engine::FleetSim& sim, engine::PairSession& s,
+                          ByteReader& r) override;
+
   /// The live coreset of a vehicle (tests/diagnostics).
   [[nodiscard]] const coreset::Coreset& coreset_of(int v) const;
 

@@ -1,6 +1,9 @@
 #include "engine/faults.h"
 
 #include <algorithm>
+#include <stdexcept>
+
+#include "common/bytes.h"
 
 #include "obs/trace.h"
 
@@ -96,6 +99,54 @@ void FaultInjector::corrupt_payload(std::vector<std::uint8_t>& payload) {
     const std::size_t bit = static_cast<std::size_t>(
         corrupt_rng_.uniform_index(static_cast<std::uint64_t>(payload.size()) * 8));
     payload[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+  }
+}
+
+void FaultInjector::save(ByteWriter& w) const {
+  w.write_f64(time_);
+  burst_rng_.save(w);
+  churn_rng_.save(w);
+  corrupt_rng_.save(w);
+  w.write_u32(static_cast<std::uint32_t>(bursts_.size()));
+  for (const auto& b : bursts_) {
+    w.write_f64(b.center.x);
+    w.write_f64(b.center.y);
+    w.write_f64(b.radius_m);
+    w.write_f64(b.extra_loss);
+    w.write_f64(b.until_s);
+  }
+  w.write_f64_vec(offline_until_);
+  w.write_u32(static_cast<std::uint32_t>(went_offline_.size()));
+  for (const int v : went_offline_) w.write_i32(v);
+}
+
+void FaultInjector::load(ByteReader& r) {
+  time_ = r.read_f64();
+  burst_rng_.load(r);
+  churn_rng_.load(r);
+  corrupt_rng_.load(r);
+  bursts_.resize(r.read_u32());
+  for (auto& b : bursts_) {
+    b.center.x = r.read_f64();
+    b.center.y = r.read_f64();
+    b.radius_m = r.read_f64();
+    b.extra_loss = r.read_f64();
+    b.until_s = r.read_f64();
+  }
+  auto offline = r.read_f64_vec();
+  if (offline.size() != offline_until_.size()) {
+    throw std::runtime_error{"FaultInjector::load: vehicle count mismatch"};
+  }
+  offline_until_ = std::move(offline);
+  went_offline_.resize(r.read_u32());
+  const int n = static_cast<int>(offline_until_.size());
+  for (auto& v : went_offline_) {
+    v = r.read_i32();
+    if (v < 0 || v >= n) throw std::runtime_error{"FaultInjector::load: vehicle out of range"};
+  }
+  offline_count_ = 0;
+  for (const double until : offline_until_) {
+    if (until > 0.0) ++offline_count_;
   }
 }
 

@@ -32,6 +32,11 @@
 #include "common/geometry.h"
 #include "common/rng.h"
 
+namespace lbchat {
+class ByteWriter;
+class ByteReader;
+}  // namespace lbchat
+
 namespace lbchat::engine {
 
 /// Fault-model knobs, all off by default. Part of ScenarioConfig.
@@ -116,6 +121,13 @@ class FaultInjector {
 
   [[nodiscard]] const FaultConfig& config() const { return cfg_; }
   [[nodiscard]] int active_bursts() const { return static_cast<int>(bursts_.size()); }
+
+  /// Serialize/restore the injector's mutable state (clock, RNG streams,
+  /// active bursts, offline timers) into an injector constructed with the
+  /// same (cfg, seed, extent, num_vehicles). load() throws std::exception on
+  /// malformed input.
+  void save(ByteWriter& w) const;
+  void load(ByteReader& r);
 
  private:
   struct Burst {

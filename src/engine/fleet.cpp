@@ -5,6 +5,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "common/bytes.h"
 #include "common/log.h"
 
 namespace lbchat::engine {
@@ -21,9 +22,32 @@ net::WirelessLossModel zero_loss() {
   return net::WirelessLossModel{{0.0, 1e9}, {0.0, 0.0}};
 }
 
+/// Slow-tick period for pair-map pruning (satellite of the checkpoint PR):
+/// coarse on purpose — pruning only reclaims memory, never changes behaviour.
+constexpr double kPairMapPruneIntervalS = 60.0;
+
 }  // namespace
 
 void Strategy::local_train(FleetSim& sim, int v) { sim.default_local_train(v); }
+
+void Strategy::save_state(const FleetSim& sim, ByteWriter& w) const {
+  (void)sim;
+  (void)w;
+}
+void Strategy::load_state(FleetSim& sim, ByteReader& r) {
+  (void)sim;
+  (void)r;
+}
+void Strategy::save_session_state(const FleetSim& sim, const PairSession& s, ByteWriter& w) const {
+  (void)sim;
+  (void)s;
+  (void)w;
+}
+void Strategy::load_session_state(FleetSim& sim, PairSession& s, ByteReader& r) {
+  (void)sim;
+  (void)s;
+  (void)r;
+}
 
 FleetSim::FleetSim(const ScenarioConfig& cfg, std::unique_ptr<Strategy> strategy)
     : cfg_(cfg),
@@ -441,15 +465,21 @@ void FleetSim::publish_run_metrics() const {
   set("transfer.effective_model_receiving_rate", stats_.effective_model_receiving_rate());
 }
 
-RunMetrics FleetSim::run() {
-  RunMetrics metrics;
+void FleetSim::prepare() {
+  if (prepared_) return;
   collect_phase();
   strategy_->setup(*this);
-  eval_and_record(metrics, 0.0);
+  eval_and_record(metrics_, 0.0);
+  next_train_ = cfg_.train_interval_s;
+  next_eval_ = cfg_.eval_interval_s;
+  next_prune_ = kPairMapPruneIntervalS;
+  prepared_ = true;
+}
 
-  double next_train = cfg_.train_interval_s;
-  double next_eval = cfg_.eval_interval_s;
-  while (time_ < cfg_.duration_s) {
+void FleetSim::run_until(double t_end) {
+  prepare();
+  const double end = std::min(t_end, cfg_.duration_s);
+  while (time_ < end) {
     world_.step(cfg_.tick_s);
     time_ += cfg_.tick_s;
     faults_.advance(time_, cfg_.tick_s);
@@ -464,7 +494,7 @@ RunMetrics FleetSim::run() {
       }
       reap_sessions();
     }
-    if (time_ >= next_train) {
+    if (time_ >= next_train_) {
       if (strategy_->parallel_local_train()) {
         for_each_vehicle([this](std::int64_t v) {
           if (faults_.offline(static_cast<int>(v))) return;
@@ -478,27 +508,71 @@ RunMetrics FleetSim::run() {
           strategy_->local_train(*this, v);
         }
       }
-      next_train += cfg_.train_interval_s;
+      next_train_ += cfg_.train_interval_s;
     }
     strategy_->on_tick(*this);
     tick_sessions(cfg_.tick_s);
-    if (time_ >= next_eval) {
-      eval_and_record(metrics, time_);
-      next_eval += cfg_.eval_interval_s;
+    if (time_ >= next_eval_) {
+      eval_and_record(metrics_, time_);
+      next_eval_ += cfg_.eval_interval_s;
+    }
+    if (time_ >= next_prune_) {
+      prune_pair_maps();
+      next_prune_ = time_ + kPairMapPruneIntervalS;
     }
   }
-  if (metrics.loss_curve.times.back() < cfg_.duration_s) {
-    eval_and_record(metrics, cfg_.duration_s);
+}
+
+RunMetrics FleetSim::finalize() {
+  if (metrics_.loss_curve.times.empty() || metrics_.loss_curve.times.back() < cfg_.duration_s) {
+    eval_and_record(metrics_, cfg_.duration_s);
   }
-  metrics.transfers = stats_;
-  metrics.per_vehicle = vstats_;
-  metrics.train_steps = train_steps_.load();
-  metrics.final_params.reserve(nodes_.size());
+  metrics_.transfers = stats_;
+  metrics_.per_vehicle = vstats_;
+  metrics_.train_steps = train_steps_.load();
+  metrics_.final_params.clear();
+  metrics_.final_params.reserve(nodes_.size());
   for (const auto& n : nodes_) {
-    metrics.final_params.emplace_back(n->model.params().begin(), n->model.params().end());
+    metrics_.final_params.emplace_back(n->model.params().begin(), n->model.params().end());
   }
   publish_run_metrics();
-  return metrics;
+  return metrics_;
+}
+
+RunMetrics FleetSim::run() {
+  prepare();
+  run_until(cfg_.duration_s);
+  return finalize();
+}
+
+void FleetSim::prune_pair_maps() {
+  for (auto it = last_chat_.begin(); it != last_chat_.end();) {
+    double cooldown = cfg_.pair_cooldown_s;
+    if (cfg_.faults.chat_backoff) {
+      const auto bo = pair_backoff_.find(it->first);
+      if (bo != pair_backoff_.end() && bo->second > 0) {
+        const int exp = std::min(bo->second, cfg_.faults.backoff_max_exp);
+        cooldown *= std::pow(cfg_.faults.backoff_base, exp);
+      }
+    }
+    // Same predicate as cooldown_passed(): once it holds, the entry is
+    // indistinguishable from an absent one.
+    if (time_ - it->second >= cooldown) {
+      it = last_chat_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  // Backoff counts for pairs with no surviving cooldown entry have expired:
+  // the pair has been quiet for its full (extended) cooldown, so the retry
+  // budget resets instead of penalizing the next contact forever.
+  for (auto it = pair_backoff_.begin(); it != pair_backoff_.end();) {
+    if (last_chat_.find(it->first) == last_chat_.end()) {
+      it = pair_backoff_.erase(it);
+    } else {
+      ++it;
+    }
+  }
 }
 
 }  // namespace lbchat::engine

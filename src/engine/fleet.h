@@ -18,10 +18,12 @@
 #include <optional>
 #include <string_view>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/thread_pool.h"
 #include "data/dataset.h"
+#include "engine/checkpoint.h"
 #include "engine/faults.h"
 #include "engine/metrics.h"
 #include "engine/scenario.h"
@@ -150,6 +152,21 @@ class Strategy {
     (void)sim;
     (void)s;
   }
+
+  // Checkpoint hooks. Strategies with private mutable state (coreset stores,
+  // round schedules, control variates, session scratch) override these so a
+  // restored run continues bit-identically; stateless strategies keep the
+  // no-op defaults. load_state must consume exactly the bytes save_state
+  // wrote and may throw std::exception on malformed input (the engine maps
+  // it to CkptStatus::kMalformed). Restore does NOT call setup() — setup
+  // consumes RNG streams — so load_state must fully reconstruct what setup
+  // built.
+  virtual void save_state(const FleetSim& sim, ByteWriter& w) const;
+  virtual void load_state(FleetSim& sim, ByteReader& r);
+  /// Per-session scratch (PairSession::phase is saved by the engine; the
+  /// opaque `data` pointer is the strategy's to serialize here).
+  virtual void save_session_state(const FleetSim& sim, const PairSession& s, ByteWriter& w) const;
+  virtual void load_session_state(FleetSim& sim, PairSession& s, ByteReader& r);
 };
 
 class FleetSim {
@@ -158,7 +175,27 @@ class FleetSim {
   ~FleetSim();
 
   /// Execute the full run: data collection, then the training loop.
+  /// Equivalent to prepare(); run_until(cfg.duration_s); finalize().
   RunMetrics run();
+
+  // --- phased execution (checkpoint/resume entry points) ---
+  /// Data collection + strategy setup + the t=0 evaluation. Idempotent.
+  void prepare();
+  /// Advance the simulation to min(t_end, cfg.duration_s). Calls prepare()
+  /// first if it has not run. May be called repeatedly.
+  void run_until(double t_end);
+  /// Final evaluation (if the horizon's eval is still missing) + metrics
+  /// assembly. Returns the run metrics accumulated so far.
+  RunMetrics finalize();
+
+  // --- checkpoint/restore (engine/checkpoint.h; DESIGN.md §10) ---
+  /// Serialize the complete run state as one CRC32-checksummed frame.
+  void save_checkpoint(ByteWriter& w) const;
+  /// Restore from a checkpoint produced by save_checkpoint under the same
+  /// configuration and strategy. Call on a freshly constructed sim; never
+  /// throws — every failure maps to a status, but a failed restore leaves
+  /// this sim in an unspecified state (construct a new one).
+  [[nodiscard]] CkptStatus restore(ByteReader& in);
 
   // --- accessors for strategies ---
   [[nodiscard]] const ScenarioConfig& config() const { return cfg_; }
@@ -234,6 +271,12 @@ class FleetSim {
   /// Mean held-out loss across all vehicles' models (the loss-curve metric).
   [[nodiscard]] double mean_eval_loss() const;
 
+  /// (last_chat size, pair_backoff size) — observability for the pair-map
+  /// pruning that keeps both bounded over long runs.
+  [[nodiscard]] std::pair<std::size_t, std::size_t> pair_map_sizes() const {
+    return {last_chat_.size(), pair_backoff_.size()};
+  }
+
  private:
   void collect_phase();
   /// Evaluate the fleet at sim time `t` and record the mean + per-vehicle
@@ -246,6 +289,10 @@ class FleetSim {
   /// Abort every session a churned-out vehicle participates in.
   void abort_sessions_of(int v);
   [[nodiscard]] double session_distance(const PairSession& s) const;
+  /// Drop last_chat_/pair_backoff_ entries whose cooldown (with any backoff
+  /// multiplier) has fully elapsed — they can no longer affect
+  /// cooldown_passed(), so pruning never changes behaviour, only memory.
+  void prune_pair_maps();
   /// Run fn(v) for every vehicle, on the pool when one is configured.
   /// Deterministic provided fn(v) only touches vehicle-v state.
   void for_each_vehicle(const std::function<void(std::int64_t)>& fn) const;
@@ -269,6 +316,12 @@ class FleetSim {
   Rng net_rng_;
   Rng infra_rng_;
   double time_ = 0.0;
+  // Phased-execution state (serialized in checkpoints).
+  RunMetrics metrics_;
+  double next_train_ = 0.0;
+  double next_eval_ = 0.0;
+  double next_prune_ = 0.0;
+  bool prepared_ = false;
   /// Atomic: incremented from concurrent local_train lanes; the final count
   /// is order-independent, so determinism is unaffected.
   std::atomic<long> train_steps_{0};

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "common/bytes.h"
+
 namespace lbchat::nn {
 
 void Sgd::step(std::span<float> params, std::span<const float> grads) {
@@ -39,6 +41,23 @@ void Adam::step(std::span<float> params, std::span<const float> grads) {
     params[i] -= static_cast<float>(lr_ * (mhat / (std::sqrt(vhat) + eps_) +
                                            weight_decay_ * params[i]));
   }
+}
+
+void Sgd::save_state(ByteWriter& w) const { w.write_f32_vec(velocity_); }
+
+void Sgd::load_state(ByteReader& r) { velocity_ = r.read_f32_vec(); }
+
+void Adam::save_state(ByteWriter& w) const {
+  w.write_f32_vec(m_);
+  w.write_f32_vec(v_);
+  w.write_u64(static_cast<std::uint64_t>(t_));
+}
+
+void Adam::load_state(ByteReader& r) {
+  m_ = r.read_f32_vec();
+  v_ = r.read_f32_vec();
+  if (m_.size() != v_.size()) throw std::invalid_argument{"Adam::load_state: m/v size mismatch"};
+  t_ = static_cast<long>(r.read_u64());
 }
 
 }  // namespace lbchat::nn

@@ -3,7 +3,13 @@
 
 #include <memory>
 #include <span>
+#include <string_view>
 #include <vector>
+
+namespace lbchat {
+class ByteWriter;
+class ByteReader;
+}  // namespace lbchat
 
 namespace lbchat::nn {
 
@@ -17,6 +23,15 @@ class Optimizer {
   /// Reset internal state (momentum/moment buffers).
   virtual void reset() = 0;
   [[nodiscard]] virtual std::unique_ptr<Optimizer> clone() const = 0;
+
+  /// Stable identifier of the concrete optimizer ("sgd", "adam"), used to
+  /// validate checkpoint compatibility before load_state().
+  [[nodiscard]] virtual std::string_view kind() const = 0;
+  /// Serialize/restore the mutable state (moment buffers, step count) so a
+  /// restored optimizer continues bit-identically. Hyperparameters are NOT
+  /// serialized; they come from the reconstructed configuration.
+  virtual void save_state(ByteWriter& w) const = 0;
+  virtual void load_state(ByteReader& r) = 0;
 
   [[nodiscard]] double learning_rate() const { return lr_; }
   void set_learning_rate(double lr) { lr_ = lr; }
@@ -40,6 +55,9 @@ class Sgd final : public Optimizer {
   [[nodiscard]] std::unique_ptr<Optimizer> clone() const override {
     return std::make_unique<Sgd>(lr_, momentum_, weight_decay_);
   }
+  [[nodiscard]] std::string_view kind() const override { return "sgd"; }
+  void save_state(ByteWriter& w) const override;
+  void load_state(ByteReader& r) override;
 
  private:
   double momentum_;
@@ -63,6 +81,9 @@ class Adam final : public Optimizer {
   [[nodiscard]] std::unique_ptr<Optimizer> clone() const override {
     return std::make_unique<Adam>(lr_, beta1_, beta2_, eps_, weight_decay_);
   }
+  [[nodiscard]] std::string_view kind() const override { return "adam"; }
+  void save_state(ByteWriter& w) const override;
+  void load_state(ByteReader& r) override;
 
  private:
   double beta1_, beta2_, eps_, weight_decay_;

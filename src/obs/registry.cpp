@@ -209,4 +209,33 @@ void MetricsRegistry::reset_values() {
   for (auto& g : gauges_) g.store(0.0, std::memory_order_relaxed);
 }
 
+void MetricsRegistry::restore(const Snapshot& snap) {
+  reset_values();
+  Shard& shard = local_shard();  // all restored state lands in one shard
+  for (const MetricValue& m : snap.metrics) {
+    switch (m.kind) {
+      case MetricKind::kCounter:
+        if (m.count > 0) add(counter(m.name), m.count);
+        break;
+      case MetricKind::kGauge:
+        set(gauge(m.name), m.value);
+        break;
+      case MetricKind::kHistogram: {
+        const HistogramId id = histogram(m.name, m.bounds);  // throws on bound mismatch
+        if (m.buckets.size() != m.bounds.size() + 1) {
+          throw std::invalid_argument{"MetricsRegistry::restore: bucket count mismatch"};
+        }
+        for (std::size_t b = 0; b < m.buckets.size(); ++b) {
+          shard.hist_buckets[id.slot * kBucketSlots + b].fetch_add(m.buckets[b],
+                                                                   std::memory_order_relaxed);
+        }
+        shard.hist_count[id.slot].fetch_add(m.count, std::memory_order_relaxed);
+        shard.hist_sum_micro[id.slot].fetch_add(std::llround(m.value * 1e6),
+                                                std::memory_order_relaxed);
+        break;
+      }
+    }
+  }
+}
+
 }  // namespace lbchat::obs

@@ -103,6 +103,13 @@ class MetricsRegistry {
   /// handles) survive, so cached handles stay valid across runs.
   void reset_values();
 
+  /// Reset all values, then re-apply `snap` — registering any missing
+  /// metrics — so a subsequent snapshot() reproduces `snap` exactly (modulo
+  /// metrics registered in this process but absent from `snap`, which read
+  /// zero). Used by checkpoint restore. Throws std::exception on kind or
+  /// bucket-shape mismatches with already-registered metrics.
+  void restore(const Snapshot& snap);
+
  private:
   struct Shard;
   struct Def {

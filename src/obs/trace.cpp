@@ -64,6 +64,18 @@ void EventTracer::clear() {
   dropped_ = 0;
 }
 
+void EventTracer::restore(std::vector<Event> events, std::uint64_t dropped) {
+  std::lock_guard<std::mutex> lock{mu_};
+  if (events.size() > cap_) {
+    const std::size_t excess = events.size() - cap_;
+    dropped += excess;
+    events.erase(events.begin(), events.begin() + static_cast<std::ptrdiff_t>(excess));
+  }
+  ring_ = std::move(events);
+  next_ = 0;  // the ring is stored oldest-first, so overwriting starts at 0
+  dropped_ = dropped;
+}
+
 /// One thread's span ring. Only the owning thread writes records; spans()
 /// and clear() read/reset it under the store mutex with workers quiescent.
 struct SpanStore::Buffer {

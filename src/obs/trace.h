@@ -72,6 +72,11 @@ class EventTracer {
   /// Applies to subsequently emitted events; existing content is kept.
   void set_capacity(std::size_t cap);
   void clear();
+  /// Replace the ring content with `events` (oldest first) and the dropped
+  /// counter with `dropped`, as if they had been emitted in order — used by
+  /// checkpoint restore. If `events` exceeds the capacity, only the newest
+  /// `cap` are kept and the excess is added to `dropped`.
+  void restore(std::vector<Event> events, std::uint64_t dropped);
 
  private:
   mutable std::mutex mu_;

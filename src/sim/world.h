@@ -14,6 +14,11 @@
 #include "sim/route.h"
 #include "sim/town.h"
 
+namespace lbchat {
+class ByteWriter;
+class ByteReader;
+}  // namespace lbchat
+
 namespace lbchat::sim {
 
 struct WorldConfig {
@@ -127,6 +132,14 @@ class World {
   /// brakes for it, the same courtesy CARLA agents extend to the ego car.
   /// The external car is never part of car_positions() or collides().
   void set_external_car(std::optional<Vec2> pos) { external_car_ = pos; }
+
+  /// Serialize/restore the mutable world state (agents, routes, RNG streams,
+  /// sim clock) into a World constructed with the same (cfg, num_vehicles,
+  /// seed), so a restored world steps bit-identically. The map and the
+  /// transient external-car marker are not serialized. load() throws
+  /// std::exception on malformed or incompatible input.
+  void save(ByteWriter& w) const;
+  void load(ByteReader& r);
 
  private:
   void assign_new_route(CarAgent& a, Rng& rng);

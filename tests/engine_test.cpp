@@ -2,6 +2,9 @@
 // accounting, deadlines, and determinism.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <set>
+
 #include "engine/fleet.h"
 
 namespace lbchat::engine {
@@ -368,6 +371,64 @@ TEST(FleetSimTest, CooldownBlocksImmediateRechat) {
   FleetSim sim{cfg, std::move(strategy)};
   (void)sim.run();
   EXPECT_LE(raw->sessions, 1);
+}
+
+/// Chats a rotating "hub" vehicle with everyone else, so pair churn touches
+/// every distinct pair over a long run — the worst case for the pair maps.
+class RollingChatStrategy final : public Strategy {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "rolling-chat"; }
+  void on_tick(FleetSim& sim) override {
+    const int n = sim.num_vehicles();
+    const int hub = static_cast<int>(sim.time() / 30.0) % n;
+    for (int v = 0; v < n; ++v) {
+      if (v == hub || !sim.is_idle(hub) || !sim.is_idle(v)) continue;
+      if (!sim.in_range(hub, v) || !sim.cooldown_passed(hub, v)) continue;
+      sim.start_session(hub, v);  // no stages: drains and closes immediately
+      pairs_seen.insert(hub < v ? hub * 1000 + v : v * 1000 + hub);
+    }
+  }
+  std::set<int> pairs_seen;
+};
+
+TEST(FleetSimTest, PairMapsPlateauUnderLongChurn) {
+  // Regression for unbounded last_chat_/pair_backoff_ growth: over a long
+  // run that chats across every distinct pair, the maps must plateau at the
+  // recently-active working set instead of accumulating one entry per pair
+  // ever seen (they are pruned once a pair's cooldown has fully elapsed).
+  ScenarioConfig cfg;
+  cfg.num_vehicles = 10;
+  cfg.collect_duration_s = 10.0;
+  cfg.collect_fps = 1.0;
+  cfg.eval_frames_per_vehicle = 1;
+  cfg.duration_s = 600.0;
+  cfg.train_interval_s = 1e9;  // isolate session churn: no training...
+  cfg.eval_interval_s = 1e9;   // ...and no periodic evaluation
+  cfg.pair_cooldown_s = 5.0;
+  cfg.radio.max_range_m = 1e9;  // everyone is always in range
+  cfg.world.num_background_cars = 2;
+  cfg.world.num_pedestrians = 2;
+  auto strategy = std::make_unique<RollingChatStrategy>();
+  RollingChatStrategy* rolling = strategy.get();
+  FleetSim sim{cfg, std::move(strategy)};
+  sim.prepare();
+  std::size_t max_last_chat = 0;
+  std::size_t max_backoff = 0;
+  for (double t = 30.0; t <= cfg.duration_s; t += 30.0) {
+    sim.run_until(t);
+    const auto [last_chat, backoff] = sim.pair_map_sizes();
+    max_last_chat = std::max(max_last_chat, last_chat);
+    max_backoff = std::max(max_backoff, backoff);
+  }
+  const std::size_t distinct_pairs = rolling->pairs_seen.size();
+  // The rotation really did touch every pair of the 10-vehicle fleet...
+  EXPECT_EQ(distinct_pairs, 45u);
+  // ...yet the maps stayed bounded by the recently-active set, not by the
+  // number of pairs ever seen. Between prunes (every 60 s) at most two hub
+  // windows of 9 pairs each are recorded, plus a straggler at the boundary.
+  EXPECT_LT(max_last_chat, distinct_pairs);
+  EXPECT_LE(max_last_chat, 3u * static_cast<std::size_t>(cfg.num_vehicles));
+  EXPECT_EQ(max_backoff, 0u);  // chat_backoff off: never populated
 }
 
 TEST(FleetSimTest, AssistInfoReflectsVehicleState) {

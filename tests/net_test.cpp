@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <iterator>
 
 #include "net/contact.h"
 #include "net/wireless.h"
@@ -24,6 +25,43 @@ TEST(LossModelTest, DefaultTableShape) {
     EXPECT_GE(p, prev - 1e-12);
     prev = p;
   }
+}
+
+TEST(LossModelTest, DefaultTableGoldenValues) {
+  // Golden pin of the default distance-loss table. These exact values are a
+  // published constant of the simulator (DESIGN.md; run digests depend on
+  // them) — changing the table is a breaking change and must be deliberate.
+  const double range = 500.0;
+  const auto loss = WirelessLossModel::default_table(range);
+  const double knots[] = {0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9};
+  const double expected[] = {0.02, 0.05, 0.10, 0.15, 0.22, 0.30, 0.40, 0.55, 0.70, 0.85};
+  for (std::size_t i = 0; i < std::size(knots); ++i) {
+    EXPECT_DOUBLE_EQ(loss.packet_loss(knots[i] * range), expected[i]) << "knot " << knots[i];
+  }
+  // At and beyond the table's maximum distance the link is fully lost (the
+  // 0.95 entry at the last knot is only approached from below).
+  EXPECT_DOUBLE_EQ(loss.packet_loss(range), 1.0);
+  EXPECT_DOUBLE_EQ(loss.packet_loss(range * 10.0), 1.0);
+  EXPECT_NEAR(loss.packet_loss(range * 0.999), 0.95, 1e-2);
+  EXPECT_DOUBLE_EQ(loss.max_distance(), range);
+}
+
+TEST(LossModelTest, ExpectedTransferTimeGoldenValues) {
+  // expected_transfer_time = bytes * 8 / (bandwidth * (1 - p)) — pinned at
+  // the table knots with the default 31 Mbps radio.
+  const RadioConfig radio;
+  const auto loss = WirelessLossModel::default_table(radio.max_range_m);
+  const std::size_t mb = 1024 * 1024;
+  EXPECT_DOUBLE_EQ(expected_transfer_time(mb, 0.0, radio, loss),
+                   static_cast<double>(mb) * 8.0 / (31e6 * (1.0 - 0.02)));
+  EXPECT_DOUBLE_EQ(expected_transfer_time(mb, 0.5 * radio.max_range_m, radio, loss),
+                   static_cast<double>(mb) * 8.0 / (31e6 * (1.0 - 0.30)));
+  EXPECT_DOUBLE_EQ(expected_transfer_time(mb, 0.9 * radio.max_range_m, radio, loss),
+                   static_cast<double>(mb) * 8.0 / (31e6 * (1.0 - 0.85)));
+  EXPECT_DOUBLE_EQ(expected_transfer_time(0, 0.0, radio, loss), 0.0);
+  // Out of range or total loss: infinite.
+  EXPECT_TRUE(std::isinf(expected_transfer_time(mb, radio.max_range_m, radio, loss)));
+  EXPECT_TRUE(std::isinf(expected_transfer_time(mb, radio.max_range_m * 2.0, radio, loss)));
 }
 
 TEST(LossModelTest, ScalesToRange) {

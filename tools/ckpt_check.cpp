@@ -1,0 +1,72 @@
+// ckpt_check: inspect and validate a fleet checkpoint file.
+//
+// Usage: ckpt_check FILE...
+//
+// For each file: verifies the CRC32 frame envelope, the checkpoint version,
+// and the section framing (engine::inspect_checkpoint — no ScenarioConfig
+// needed), then prints the header and a per-section size breakdown. Exits
+// nonzero if any file fails validation, so it doubles as a CI gate.
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "engine/checkpoint.h"
+
+namespace {
+
+bool read_file(const char* path, std::vector<std::uint8_t>& out) {
+  std::FILE* f = std::fopen(path, "rb");
+  if (f == nullptr) return false;
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  out.resize(size > 0 ? static_cast<std::size_t>(size) : 0);
+  const bool ok = out.empty() || std::fread(out.data(), 1, out.size(), f) == out.size();
+  std::fclose(f);
+  return ok;
+}
+
+bool check(const char* path) {
+  std::vector<std::uint8_t> bytes;
+  if (!read_file(path, bytes)) {
+    std::fprintf(stderr, "%s: cannot read\n", path);
+    return false;
+  }
+  lbchat::engine::CkptInfo info;
+  const auto st = lbchat::engine::inspect_checkpoint(bytes, info);
+  if (st != lbchat::engine::CkptStatus::kOk) {
+    std::fprintf(stderr, "%s: INVALID (%s)\n", path,
+                 std::string{lbchat::engine::to_string(st)}.c_str());
+    return false;
+  }
+  std::printf("%s: ok (%zu bytes)\n", path, bytes.size());
+  std::printf("  version       %u\n", info.version);
+  std::printf("  fingerprint   %016llx\n",
+              static_cast<unsigned long long>(info.config_fingerprint));
+  std::printf("  seed          %llu\n", static_cast<unsigned long long>(info.seed));
+  std::printf("  vehicles      %u\n", info.num_vehicles);
+  std::printf("  strategy      %s\n", info.strategy.c_str());
+  std::printf("  sim time      %.3f s\n", info.time_s);
+  for (const auto& s : info.sections) {
+    std::printf("  section %-9s %10llu bytes\n",
+                std::string{lbchat::engine::section_name(s.tag)}.c_str(),
+                static_cast<unsigned long long>(s.bytes));
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: ckpt_check FILE...\n");
+    return 2;
+  }
+  int failures = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (!check(argv[i])) ++failures;
+  }
+  return failures == 0 ? 0 : 1;
+}
