@@ -14,6 +14,7 @@
 
 #include "data/dataset.h"
 #include "net/contact.h"
+#include "net/spatial_index.h"
 #include "net/wireless.h"
 #include "nn/optim.h"
 #include "nn/policy.h"
@@ -208,6 +209,44 @@ Row bench_contact_estimate() {
           })};
 }
 
+Row bench_contact_query() {
+  // One tick's worth of neighbor discovery for a 256-vehicle fleet: spatial
+  // grid rebuild + one range query per vehicle, with the O(n^2) all-pairs
+  // scan as the naive twin (both produce the identical neighbor lists).
+  constexpr int kN = 256;
+  constexpr double kRange = 200.0;
+  Rng rng{11};
+  std::vector<Vec2> pos(static_cast<std::size_t>(kN));
+  for (auto& p : pos) p = Vec2{rng.uniform(0.0, 4000.0), rng.uniform(0.0, 4000.0)};
+  net::NeighborIndex index;
+  std::vector<int> out;
+  volatile int sink = 0;
+  Row r{"contact_query n256", us_per_iter([&] {
+          index.rebuild(pos, kRange);
+          int total = 0;
+          for (int v = 0; v < kN; ++v) {
+            index.query(v, out);
+            total += static_cast<int>(out.size());
+          }
+          sink = sink + total;
+        })};
+  r.naive_us = us_per_iter([&] {
+    int total = 0;
+    for (int v = 0; v < kN; ++v) {
+      out.clear();
+      for (int b = 0; b < kN; ++b) {
+        if (b != v && distance(pos[static_cast<std::size_t>(v)],
+                               pos[static_cast<std::size_t>(b)]) <= kRange) {
+          out.push_back(b);
+        }
+      }
+      total += static_cast<int>(out.size());
+    }
+    sink = sink + total;
+  });
+  return r;
+}
+
 Row bench_bev_render() {
   sim::World world{sim::WorldConfig{}, 4, 9};
   for (int i = 0; i < 40; ++i) world.step(0.5);
@@ -231,6 +270,7 @@ int main() {
   rows.push_back(bench_policy_predict());
   rows.push_back(bench_transfer_tick());
   rows.push_back(bench_contact_estimate());
+  rows.push_back(bench_contact_query());
   rows.push_back(bench_bev_render());
 
   print_rows(rows);

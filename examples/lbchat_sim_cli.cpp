@@ -32,6 +32,7 @@ namespace {
 void usage() {
   std::fprintf(stderr,
                "usage: lbchat_sim_cli [--approach NAME] [--vehicles N] [--duration S]\n"
+               "                      [--num-vehicles N] [--collect-duration S]\n"
                "                      [--coreset N] [--seed N] [--threads N]\n"
                "                      [--no-wireless-loss] [--eval]\n"
                "                      [--trace-out FILE] [--events-out FILE]\n"
@@ -39,6 +40,12 @@ void usage() {
                "  --threads N       worker lanes for per-vehicle training/eval\n"
                "                    (0 = all hardware threads, 1 = sequential;\n"
                "                    results are bit-identical for any value)\n"
+               "  --num-vehicles N  metro scaling: grow the fleet to N while the\n"
+               "                    town tiles to keep vehicle density constant,\n"
+               "                    and switch on the spatial index, snapshot\n"
+               "                    mobility, and parallel session ticks\n"
+               "                    (--vehicles changes the count on a fixed map)\n"
+               "  --collect-duration S  length of the data-collection phase\n"
                "  --trace-out F     Chrome trace-event JSON (open in Perfetto);\n"
                "                    enables sim-event + wall-clock span tracing\n"
                "  --events-out F    sim-time event log, one JSON object per line\n"
@@ -105,6 +112,7 @@ int main(int argc, char** argv) {
   std::string checkpoint_out;
   std::string resume_from;
   double checkpoint_every = 0.0;
+  int metro_vehicles = 0;
 
   for (int i = 1; i < argc; ++i) {
     const auto need_value = [&](const char* flag) -> const char* {
@@ -119,8 +127,12 @@ int main(int argc, char** argv) {
       approach_name = need_value("--approach");
     } else if (std::strcmp(argv[i], "--vehicles") == 0) {
       cfg.num_vehicles = std::atoi(need_value("--vehicles"));
+    } else if (std::strcmp(argv[i], "--num-vehicles") == 0) {
+      metro_vehicles = std::atoi(need_value("--num-vehicles"));
     } else if (std::strcmp(argv[i], "--duration") == 0) {
       cfg.duration_s = std::atof(need_value("--duration"));
+    } else if (std::strcmp(argv[i], "--collect-duration") == 0) {
+      cfg.collect_duration_s = std::atof(need_value("--collect-duration"));
     } else if (std::strcmp(argv[i], "--coreset") == 0) {
       cfg.coreset_size = static_cast<std::size_t>(std::atoi(need_value("--coreset")));
     } else if (std::strcmp(argv[i], "--seed") == 0) {
@@ -160,6 +172,9 @@ int main(int argc, char** argv) {
     usage();
     return 2;
   }
+  // Metro scaling last, so it composes with --vehicles (which then sets the
+  // base the town tiles up from) regardless of flag order.
+  if (metro_vehicles > 0) engine::apply_metro_scale(cfg, metro_vehicles);
   if (cfg.num_vehicles < 2 || cfg.duration_s <= 0.0) {
     std::fprintf(stderr, "need at least 2 vehicles and a positive duration\n");
     return 2;

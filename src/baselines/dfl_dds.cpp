@@ -35,8 +35,10 @@ void DflDdsStrategy::on_tick(FleetSim& sim) {
   std::vector<Cand> cands;
   for (int a = 0; a < sim.num_vehicles(); ++a) {
     if (!sim.is_idle(a)) continue;
-    for (int b = a + 1; b < sim.num_vehicles(); ++b) {
-      if (!sim.is_idle(b) || !sim.in_range(a, b)) continue;
+    // Neighbors come back ascending, so `b <= a` keeps the old a<b pair
+    // enumeration (each pair considered once) in the same order.
+    for (const int b : sim.neighbors_in_range(a)) {
+      if (b <= a || !sim.is_idle(b)) continue;
       cands.push_back({sim.pair_distance(a, b), a, b});
     }
   }

@@ -14,9 +14,8 @@ void DpStrategy::on_tick(FleetSim& sim) {
     if (!sim.is_idle(a)) continue;
     int best = -1;
     double best_d = 1e18;
-    for (int b = 0; b < sim.num_vehicles(); ++b) {
-      if (b == a || !sim.is_idle(b)) continue;
-      if (!sim.in_range(a, b) || !sim.cooldown_passed(a, b)) continue;
+    for (const int b : sim.neighbors_in_range(a)) {
+      if (!sim.is_idle(b) || !sim.cooldown_passed(a, b)) continue;
       const double d = sim.pair_distance(a, b);
       if (d < best_d) {
         best_d = d;

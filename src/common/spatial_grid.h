@@ -1,0 +1,116 @@
+// Uniform spatial hash grid over a set of 2-D points.
+//
+// The scaling substrate for radio-range neighbor queries and obstacle scans
+// (DESIGN.md §11): points are bucketed into square cells of a caller-chosen
+// size, rebuilt from scratch each tick in O(n) with a counting sort, and a
+// disc query visits only the cells overlapping the disc. With cell size >=
+// query radius that is at most a 3x3 neighborhood, so per-query cost is
+// proportional to local density instead of fleet size.
+//
+// The grid returns a candidate SUPERSET: callers filter with the exact
+// predicate (e.g. distance <= range) against the same positions the grid was
+// built from, which makes grid-backed queries bit-identical to a brute-force
+// scan. Within one cell, ids are stored in ascending order (counting sort is
+// stable over the insertion sweep), but ids across cells are not globally
+// ordered — callers needing ascending-id results sort the filtered matches.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/geometry.h"
+
+namespace lbchat {
+
+class UniformGrid {
+ public:
+  /// Rebuild the grid over `points` with square cells of `cell_m` per side.
+  /// The grid bounds are the points' bounding box, so callers never need to
+  /// know the map extent (tiled metro maps included).
+  void rebuild(std::span<const Vec2> points, double cell_m) {
+    cell_ = std::max(cell_m, 1e-9);
+    const auto n = points.size();
+    if (n == 0) {
+      nx_ = ny_ = 0;
+      cell_start_.assign(1, 0);
+      ids_.clear();
+      return;
+    }
+    min_x_ = points[0].x;
+    min_y_ = points[0].y;
+    double max_x = points[0].x;
+    double max_y = points[0].y;
+    for (const Vec2& p : points) {
+      min_x_ = std::min(min_x_, p.x);
+      min_y_ = std::min(min_y_, p.y);
+      max_x = std::max(max_x, p.x);
+      max_y = std::max(max_y, p.y);
+    }
+    nx_ = static_cast<int>((max_x - min_x_) / cell_) + 1;
+    ny_ = static_cast<int>((max_y - min_y_) / cell_) + 1;
+    const std::size_t ncells = static_cast<std::size_t>(nx_) * static_cast<std::size_t>(ny_);
+    cell_start_.assign(ncells + 1, 0);
+    cell_of_.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint32_t c = cell_index(points[i]);
+      cell_of_[i] = c;
+      ++cell_start_[c + 1];
+    }
+    for (std::size_t c = 1; c <= ncells; ++c) cell_start_[c] += cell_start_[c - 1];
+    ids_.resize(n);
+    fill_cursor_.assign(cell_start_.begin(), cell_start_.end() - 1);
+    for (std::size_t i = 0; i < n; ++i) {
+      ids_[fill_cursor_[cell_of_[i]]++] = static_cast<std::uint32_t>(i);
+    }
+  }
+
+  /// Invoke fn(point_index) for every point in a cell overlapping the disc
+  /// (center, radius) — a superset of the exact matches. Order: cell-major,
+  /// ascending index within each cell.
+  template <class Fn>
+  void for_each_candidate(const Vec2& center, double radius, Fn&& fn) const {
+    if (nx_ == 0) return;
+    const int cx0 = clamp_cx(static_cast<int>(std::floor((center.x - radius - min_x_) / cell_)));
+    const int cx1 = clamp_cx(static_cast<int>(std::floor((center.x + radius - min_x_) / cell_)));
+    const int cy0 = clamp_cy(static_cast<int>(std::floor((center.y - radius - min_y_) / cell_)));
+    const int cy1 = clamp_cy(static_cast<int>(std::floor((center.y + radius - min_y_) / cell_)));
+    for (int cy = cy0; cy <= cy1; ++cy) {
+      for (int cx = cx0; cx <= cx1; ++cx) {
+        const std::size_t c =
+            static_cast<std::size_t>(cy) * static_cast<std::size_t>(nx_) +
+            static_cast<std::size_t>(cx);
+        for (std::uint32_t k = cell_start_[c]; k < cell_start_[c + 1]; ++k) {
+          fn(ids_[k]);
+        }
+      }
+    }
+  }
+
+  [[nodiscard]] std::size_t size() const { return ids_.size(); }
+  [[nodiscard]] double cell_size() const { return cell_; }
+
+ private:
+  [[nodiscard]] std::uint32_t cell_index(const Vec2& p) const {
+    const int cx = clamp_cx(static_cast<int>((p.x - min_x_) / cell_));
+    const int cy = clamp_cy(static_cast<int>((p.y - min_y_) / cell_));
+    return static_cast<std::uint32_t>(cy) * static_cast<std::uint32_t>(nx_) +
+           static_cast<std::uint32_t>(cx);
+  }
+  [[nodiscard]] int clamp_cx(int cx) const { return std::clamp(cx, 0, nx_ - 1); }
+  [[nodiscard]] int clamp_cy(int cy) const { return std::clamp(cy, 0, ny_ - 1); }
+
+  double cell_ = 1.0;
+  double min_x_ = 0.0;
+  double min_y_ = 0.0;
+  int nx_ = 0;
+  int ny_ = 0;
+  std::vector<std::uint32_t> cell_start_;   // CSR offsets, ncells + 1
+  std::vector<std::uint32_t> ids_;          // point ids grouped by cell
+  std::vector<std::uint32_t> cell_of_;      // rebuild scratch
+  std::vector<std::uint32_t> fill_cursor_;  // rebuild scratch
+};
+
+}  // namespace lbchat

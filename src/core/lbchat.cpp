@@ -102,9 +102,11 @@ void LbChatStrategy::on_tick(FleetSim& sim) {
     int best = -1;
     double best_score = 0.0;
     net::ContactEstimate best_contact;
-    for (int b = 0; b < sim.num_vehicles(); ++b) {
-      if (b == a || !sim.is_idle(b)) continue;
-      if (!sim.in_range(a, b) || !sim.cooldown_passed(a, b)) continue;
+    // Grid-backed neighbor query: same candidates, same ascending order as
+    // the old all-pairs scan, so the argmax below is unchanged.
+    for (const int b : sim.neighbors_in_range(a)) {
+      if (!sim.is_idle(b)) continue;
+      if (!sim.cooldown_passed(a, b)) continue;
       const net::ContactEstimate contact = sim.estimate_contact_between(a, b);
       const double score =
           net::priority_score(sim.assist_info(a), sim.assist_info(b), contact, needed_s);

@@ -118,6 +118,18 @@ void write_config(ByteWriter& w, const ScenarioConfig& c) {
   w.write_u8(f.chat_backoff ? 1 : 0);
   w.write_f64(f.backoff_base);
   w.write_i32(f.backoff_max_exp);
+  // Fleet-scaling knobs (DESIGN.md §11). spatial_index is deliberately
+  // absent: neighbor queries through the grid are exact, so it is a pure
+  // wall-clock knob like num_threads. snapshot_mobility and
+  // parallel_sessions DO change trajectories / RNG stream assignment, so
+  // they must fingerprint — but the block is written only when one of them
+  // is on, keeping every pre-existing (default-config) checkpoint and golden
+  // digest byte-identical.
+  if (c.world.snapshot_mobility || c.parallel_sessions) {
+    w.write_u8(0x5C);
+    w.write_u8(c.world.snapshot_mobility ? 1 : 0);
+    w.write_u8(c.parallel_sessions ? 1 : 0);
+  }
 }
 
 void write_time_series(ByteWriter& w, const TimeSeries& ts) {
@@ -294,6 +306,10 @@ void FleetSim::save_checkpoint(ByteWriter& out) const {
       w.write_u8(s.aborted_ ? 1 : 0);
       w.write_i32(s.phase);
       w.write_f64(s.deadline_s);
+      // The per-session RNG stream exists only in parallel-sessions mode
+      // (which is part of the config fingerprint whenever on, so writer and
+      // reader always agree on this field's presence).
+      if (cfg_.parallel_sessions) s.rng_.save(w);
       w.write_u32(static_cast<std::uint32_t>(s.queue_.size()));
       for (const auto& st : s.queue_) {
         w.write_u8(static_cast<std::uint8_t>(st.tag.kind));
@@ -509,6 +525,7 @@ CkptStatus FleetSim::restore(ByteReader& in) {
             sess->aborted_ = s.read_u8() != 0;
             sess->phase = s.read_i32();
             sess->deadline_s = s.read_f64();
+            if (cfg_.parallel_sessions) sess->rng_.load(s);
             const std::uint32_t nq = s.read_u32();
             for (std::uint32_t q = 0; q < nq; ++q) {
               const std::uint8_t kind = s.read_u8();
@@ -655,6 +672,12 @@ CkptStatus FleetSim::restore(ByteReader& in) {
       if (!seen[t]) return CkptStatus::kMalformed;
     }
     if (!r.exhausted()) return CkptStatus::kMalformed;
+    // The position cache and neighbor index are derived state, rebuilt here
+    // rather than serialized (DESIGN.md §11): a rebuild from the restored
+    // world is bit-identical to the saved run's cache, and skipping them
+    // keeps the checkpoint byte layout independent of the spatial_index
+    // wall-clock knob.
+    sync_positions();
     return CkptStatus::kOk;
   } catch (const std::exception&) {
     return CkptStatus::kMalformed;

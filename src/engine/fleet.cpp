@@ -61,6 +61,9 @@ FleetSim::FleetSim(const ScenarioConfig& cfg, std::unique_ptr<Strategy> strategy
       infra_rng_(Rng{cfg.seed}.fork("infra")) {
   if (strategy_ == nullptr) throw std::invalid_argument{"FleetSim: null strategy"};
   if (cfg.num_threads != 1) pool_ = std::make_unique<ThreadPool>(cfg.num_threads);
+  // Lend the pool to the world for snapshot-mode stepping (no-op when null
+  // or when snapshot_mobility is off).
+  world_.set_pool(pool_.get());
   nodes_.resize(static_cast<std::size_t>(cfg.num_vehicles));
   for_each_vehicle([this](std::int64_t v) {
     // Identical model initialization across vehicles (paper §II-A assumes
@@ -74,6 +77,7 @@ FleetSim::FleetSim(const ScenarioConfig& cfg, std::unique_ptr<Strategy> strategy
   });
   busy_.assign(static_cast<std::size_t>(cfg.num_vehicles), nullptr);
   vstats_.assign(static_cast<std::size_t>(cfg.num_vehicles), VehicleTransferStats{});
+  sync_positions();
 }
 
 void FleetSim::for_each_vehicle(const std::function<void(std::int64_t)>& fn) const {
@@ -146,14 +150,35 @@ void FleetSim::collect_phase() {
     }
     if (node.dataset.empty()) throw std::logic_error{"collect_phase: empty local dataset"};
   }
+  sync_positions();
+}
+
+void FleetSim::sync_positions() {
+  vpos_.resize(static_cast<std::size_t>(cfg_.num_vehicles));
+  for (int v = 0; v < cfg_.num_vehicles; ++v) {
+    vpos_[static_cast<std::size_t>(v)] = world_.vehicle(v).pos;
+  }
+  if (cfg_.spatial_index) nindex_.rebuild(vpos_, cfg_.radio.max_range_m);
 }
 
 double FleetSim::pair_distance(int a, int b) const {
-  return distance(world_.vehicle(a).pos, world_.vehicle(b).pos);
+  return distance(vpos_[static_cast<std::size_t>(a)], vpos_[static_cast<std::size_t>(b)]);
 }
 
 bool FleetSim::in_range(int a, int b) const {
   return pair_distance(a, b) <= cfg_.radio.max_range_m;
+}
+
+const std::vector<int>& FleetSim::neighbors_in_range(int v) const {
+  neighbor_scratch_.clear();
+  if (cfg_.spatial_index) {
+    nindex_.query(v, neighbor_scratch_);
+  } else {
+    for (int b = 0; b < num_vehicles(); ++b) {
+      if (b != v && in_range(v, b)) neighbor_scratch_.push_back(b);
+    }
+  }
+  return neighbor_scratch_;
 }
 
 bool FleetSim::cooldown_passed(int a, int b) const {
@@ -172,6 +197,7 @@ bool FleetSim::cooldown_passed(int a, int b) const {
 
 void FleetSim::note_pair_failure(int a, int b) {
   if (!cfg_.faults.chat_backoff || b < 0) return;
+  ++backoff_inserts_;
   const int consecutive = ++pair_backoff_[pair_key(a, b)];
   ++stats_.backoff_retries;
   obs::emit(time_, obs::EventKind::kBackoffExtend, a, b, consecutive);
@@ -221,7 +247,14 @@ PairSession& FleetSim::start_session(int a, int b) {
   busy_[static_cast<std::size_t>(a)] = s.get();
   busy_[static_cast<std::size_t>(b)] = s.get();
   last_chat_[pair_key(a, b)] = time_;
+  ++chat_inserts_;
   ++stats_.sessions_started;
+  if (cfg_.parallel_sessions) {
+    // Session-ordinal RNG stream: reproducible from (seed, start count), and
+    // private to this session so transfer ticks can run on concurrent lanes.
+    s->rng_ = Rng{cfg_.seed}.fork(hash_name("session") +
+                                  static_cast<std::uint64_t>(stats_.sessions_started));
+  }
   ++vehicle_stats(a).chats_started;
   ++vehicle_stats(b).chats_started;
   obs::emit(time_, obs::EventKind::kChatStart, a, b);
@@ -238,6 +271,10 @@ PairSession& FleetSim::start_infra_session(int a, const Vec2& pos) {
   s->started_at_ = time_;
   busy_[static_cast<std::size_t>(a)] = s.get();
   ++stats_.sessions_started;
+  if (cfg_.parallel_sessions) {
+    s->rng_ = Rng{cfg_.seed}.fork(hash_name("session") +
+                                  static_cast<std::uint64_t>(stats_.sessions_started));
+  }
   ++vehicle_stats(a).chats_started;
   obs::emit(time_, obs::EventKind::kChatStart, a, -1);
   sessions_.push_back(std::move(s));
@@ -266,9 +303,9 @@ bool FleetSim::infra_transfer_succeeds(Rng& r) {
 }
 
 double FleetSim::session_distance(const PairSession& s) const {
-  const Vec2 pa = world_.vehicle(s.a_).pos;
+  const Vec2& pa = vpos_[static_cast<std::size_t>(s.a_)];
   if (s.infrastructure()) return distance(pa, s.fixed_pos_);
-  return distance(pa, world_.vehicle(s.b_).pos);
+  return distance(pa, vpos_[static_cast<std::size_t>(s.b_)]);
 }
 
 void FleetSim::tick_sessions(double dt) {
@@ -276,18 +313,77 @@ void FleetSim::tick_sessions(double dt) {
   const net::WirelessLossModel& active_loss = cfg_.wireless_loss ? loss_ : no_loss_;
   // Iterate over a snapshot: callbacks may start new sessions.
   const std::size_t count = sessions_.size();
+
+  // Parallel-sessions mode (DESIGN.md §11). The branch is on the config flag
+  // alone — never on pool availability — so 1-thread and 4-thread runs
+  // execute the identical two-phase algorithm and stay bit-identical.
+  //
+  // Phase 1 (concurrent lanes): per-session geometry, the abort verdict, and
+  // — when the head transfer is incomplete at tick start — one transfer tick
+  // drawing from the session's private RNG stream. Touches only
+  // session-owned state plus an index-addressed plan slot; every piece of
+  // shared accounting (stats, traces, strategy callbacks) waits for the
+  // sequential id-ordered phase 2 below.
+  struct Plan {
+    double d = 0.0;
+    double extra = 0.0;
+    bool abort = false;
+    bool ticked = false;  ///< phase 1 advanced the head transfer
+    std::uint64_t delivered = 0;
+  };
+  std::vector<Plan> plans;
+  if (cfg_.parallel_sessions) {
+    plans.resize(count);
+    const auto prep = [&](std::int64_t idx) {
+      PairSession& s = *sessions_[static_cast<std::size_t>(idx)];
+      if (s.closed_ && s.queue_.empty()) return;
+      Plan& p = plans[static_cast<std::size_t>(idx)];
+      p.d = session_distance(s);
+      const Vec2& pos_a = vpos_[static_cast<std::size_t>(s.a_)];
+      const Vec2 pos_b =
+          s.infrastructure() ? s.fixed_pos_ : vpos_[static_cast<std::size_t>(s.b_)];
+      p.extra = faults_.extra_loss(pos_a, pos_b);
+      p.abort = p.d > cfg_.radio.max_range_m || (!s.queue_.empty() && time_ > s.deadline_s) ||
+                (!s.queue_.empty() && time_ - s.started_at_ > cfg_.session_timeout_s);
+      if (p.abort || s.queue_.empty()) return;
+      auto& stage = s.queue_.front();
+      // A complete (zero-byte) head is drained — and the next incomplete
+      // stage ticked inline — by phase 2, which may consume s.rng_ there.
+      if (!stage.transfer.complete()) {
+        p.delivered = stage.transfer.tick(p.d, dt, active_loss, s.rng_, p.extra);
+        p.ticked = true;
+      }
+    };
+    if (pool_ != nullptr) {
+      pool_->parallel_for(0, static_cast<std::int64_t>(count), prep);
+    } else {
+      for (std::size_t i = 0; i < count; ++i) prep(static_cast<std::int64_t>(i));
+    }
+  }
+
   for (std::size_t i = 0; i < count; ++i) {
     PairSession& s = *sessions_[i];
     if (s.closed_ && s.queue_.empty()) continue;
-    const double d = session_distance(s);
-    // Interference bursts add per-packet loss on top of the distance table
-    // (0.0 when no burst covers either endpoint, which is always true with
-    // fault injection off).
-    const Vec2 pos_a = world_.vehicle(s.a_).pos;
-    const Vec2 pos_b = s.infrastructure() ? s.fixed_pos_ : world_.vehicle(s.b_).pos;
-    const double extra = faults_.extra_loss(pos_a, pos_b);
-    if (d > cfg_.radio.max_range_m || (!s.queue_.empty() && time_ > s.deadline_s) ||
-        (!s.queue_.empty() && time_ - s.started_at_ > cfg_.session_timeout_s)) {
+    double d = 0.0;
+    double extra = 0.0;
+    bool abort_now = false;
+    if (cfg_.parallel_sessions) {
+      d = plans[i].d;
+      extra = plans[i].extra;
+      abort_now = plans[i].abort;
+    } else {
+      d = session_distance(s);
+      // Interference bursts add per-packet loss on top of the distance table
+      // (0.0 when no burst covers either endpoint, which is always true with
+      // fault injection off).
+      const Vec2& pos_a = vpos_[static_cast<std::size_t>(s.a_)];
+      const Vec2 pos_b =
+          s.infrastructure() ? s.fixed_pos_ : vpos_[static_cast<std::size_t>(s.b_)];
+      extra = faults_.extra_loss(pos_a, pos_b);
+      abort_now = d > cfg_.radio.max_range_m || (!s.queue_.empty() && time_ > s.deadline_s) ||
+                  (!s.queue_.empty() && time_ - s.started_at_ > cfg_.session_timeout_s);
+    }
+    if (abort_now) {
       ++stats_.sessions_aborted;
       // A deadline/timeout abort while a burst blacks the link out is
       // attributed to the blackout: the transfer could not make progress.
@@ -303,18 +399,26 @@ void FleetSim::tick_sessions(double dt) {
       continue;
     }
     // Drain any zero-byte stages, then advance the head transfer once.
+    const auto credit = [&](std::uint64_t delivered, const PairSession::Stage& stage) {
+      stats_.bytes_delivered += delivered;
+      if (delivered > 0) {
+        if (stage.tag.from >= 0) vehicle_stats(stage.tag.from).bytes_sent += delivered;
+        const int to = s.peer_of(stage.tag.from);
+        if (to >= 0) vehicle_stats(to).bytes_received += delivered;
+      }
+    };
     bool ticked = false;
+    if (cfg_.parallel_sessions && plans[i].ticked) {
+      // Phase 1 already advanced the head on a worker lane; book the bytes
+      // here, in session order, so the accounting is thread-count-invariant.
+      credit(plans[i].delivered, s.queue_.front());
+      ticked = true;
+    }
     while (!s.queue_.empty()) {
       auto& stage = s.queue_.front();
       if (!stage.transfer.complete() && !ticked) {
-        const std::uint64_t delivered =
-            stage.transfer.tick(d, dt, active_loss, net_rng_, extra);
-        stats_.bytes_delivered += delivered;
-        if (delivered > 0) {
-          if (stage.tag.from >= 0) vehicle_stats(stage.tag.from).bytes_sent += delivered;
-          const int to = s.peer_of(stage.tag.from);
-          if (to >= 0) vehicle_stats(to).bytes_received += delivered;
-        }
+        Rng& stream = cfg_.parallel_sessions ? s.rng_ : net_rng_;
+        credit(stage.transfer.tick(d, dt, active_loss, stream, extra), stage);
         ticked = true;
       }
       if (!stage.transfer.complete()) break;
@@ -355,6 +459,7 @@ void FleetSim::reap_sessions() {
       if (s.b_ >= 0 && busy_[static_cast<std::size_t>(s.b_)] == &s) {
         busy_[static_cast<std::size_t>(s.b_)] = nullptr;
         last_chat_[pair_key(s.a_, s.b_)] = time_;
+        ++chat_inserts_;
       }
       if (!s.aborted_) {
         const double duration = time_ - s.started_at_;
@@ -481,6 +586,7 @@ void FleetSim::run_until(double t_end) {
   const double end = std::min(t_end, cfg_.duration_s);
   while (time_ < end) {
     world_.step(cfg_.tick_s);
+    sync_positions();
     time_ += cfg_.tick_s;
     faults_.advance(time_, cfg_.tick_s);
     // Churn: a vehicle dropping out mid-session aborts it (the peer sees
@@ -546,32 +652,67 @@ RunMetrics FleetSim::run() {
 }
 
 void FleetSim::prune_pair_maps() {
-  for (auto it = last_chat_.begin(); it != last_chat_.end();) {
+  // Scan budget per slow tick: a multiple of the inserts since the last
+  // prune, floored so that at default fleet sizes it exceeds both map sizes
+  // and the sweep degenerates to the original full two-pass sweep (same
+  // entries removed — so historical runs and goldens are unaffected). At
+  // metro scale the budget bounds the per-tick work while still retiring
+  // entries 4x faster than they arrive, so map sizes plateau.
+  const std::size_t budget =
+      std::max<std::size_t>(256, 4 * (chat_inserts_ + backoff_inserts_));
+  chat_inserts_ = 0;
+  backoff_inserts_ = 0;
+  // Same predicate as cooldown_passed(): once it holds, the entry is
+  // indistinguishable from an absent one, so dropping it never changes
+  // behaviour — which is also why the sweep order/cursor is free to differ
+  // across restores (the cursors are deliberately not checkpointed).
+  const auto expired = [this](std::uint64_t key, double last) {
     double cooldown = cfg_.pair_cooldown_s;
     if (cfg_.faults.chat_backoff) {
-      const auto bo = pair_backoff_.find(it->first);
+      const auto bo = pair_backoff_.find(key);
       if (bo != pair_backoff_.end() && bo->second > 0) {
         const int exp = std::min(bo->second, cfg_.faults.backoff_max_exp);
         cooldown *= std::pow(cfg_.faults.backoff_base, exp);
       }
     }
-    // Same predicate as cooldown_passed(): once it holds, the entry is
-    // indistinguishable from an absent one.
-    if (time_ - it->second >= cooldown) {
-      it = last_chat_.erase(it);
-    } else {
-      ++it;
+    return time_ - last >= cooldown;
+  };
+  // Bucket-cursor sweep: std::unordered_map never rehashes on erase, so
+  // bucket indices stay stable while we collect-then-erase per bucket, and
+  // the cursor survives across calls as a plain index.
+  std::vector<std::uint64_t> doomed;
+  std::size_t scanned = 0;
+  if (!last_chat_.empty()) {
+    const std::size_t nb = last_chat_.bucket_count();
+    std::size_t b = prune_chat_bucket_ % nb;
+    for (std::size_t step = 0; step < nb && scanned < budget; ++step) {
+      doomed.clear();
+      for (auto it = last_chat_.begin(b); it != last_chat_.end(b); ++it) {
+        ++scanned;
+        if (expired(it->first, it->second)) doomed.push_back(it->first);
+      }
+      for (const std::uint64_t k : doomed) last_chat_.erase(k);
+      b = (b + 1) % nb;
     }
+    prune_chat_bucket_ = b;
   }
   // Backoff counts for pairs with no surviving cooldown entry have expired:
   // the pair has been quiet for its full (extended) cooldown, so the retry
   // budget resets instead of penalizing the next contact forever.
-  for (auto it = pair_backoff_.begin(); it != pair_backoff_.end();) {
-    if (last_chat_.find(it->first) == last_chat_.end()) {
-      it = pair_backoff_.erase(it);
-    } else {
-      ++it;
+  if (!pair_backoff_.empty()) {
+    const std::size_t nb = pair_backoff_.bucket_count();
+    std::size_t b = prune_backoff_bucket_ % nb;
+    scanned = 0;
+    for (std::size_t step = 0; step < nb && scanned < budget; ++step) {
+      doomed.clear();
+      for (auto it = pair_backoff_.begin(b); it != pair_backoff_.end(b); ++it) {
+        ++scanned;
+        if (last_chat_.find(it->first) == last_chat_.end()) doomed.push_back(it->first);
+      }
+      for (const std::uint64_t k : doomed) pair_backoff_.erase(k);
+      b = (b + 1) % nb;
     }
+    prune_backoff_bucket_ = b;
   }
 }
 

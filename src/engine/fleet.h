@@ -28,6 +28,7 @@
 #include "engine/metrics.h"
 #include "engine/scenario.h"
 #include "net/contact.h"
+#include "net/spatial_index.h"
 #include "net/wireless.h"
 #include "nn/optim.h"
 #include "nn/policy.h"
@@ -107,6 +108,12 @@ class PairSession {
   bool aborted_ = false;  ///< closed by range/deadline/churn, not gracefully
   std::deque<Stage> queue_;
   std::vector<std::uint8_t> delivered_payload_;
+  /// Private packet-noise stream (ScenarioConfig::parallel_sessions only):
+  /// derived from (seed, session ordinal) at session start so transfer
+  /// ticks of distinct sessions can run on concurrent lanes without sharing
+  /// the engine's net RNG. Unused (and not checkpointed) in the default
+  /// sequential mode, which draws from the shared stream.
+  Rng rng_{0};
 };
 
 class FleetSim;
@@ -216,6 +223,12 @@ class FleetSim {
 
   [[nodiscard]] double pair_distance(int a, int b) const;
   [[nodiscard]] bool in_range(int a, int b) const;
+  /// All peers within radio range of `v` (inclusive boundary, like
+  /// in_range), ascending by id — exactly the set and order a brute-force
+  /// all-pairs scan yields, answered from the per-tick spatial grid when
+  /// ScenarioConfig::spatial_index is on (DESIGN.md §11). The reference is
+  /// to a scratch buffer, valid until the next neighbors_in_range call.
+  [[nodiscard]] const std::vector<int>& neighbors_in_range(int v) const;
   /// Free to start a session: no active session AND not churned offline.
   [[nodiscard]] bool is_idle(int v) const {
     return busy_[static_cast<std::size_t>(v)] == nullptr && !faults_.offline(v);
@@ -292,7 +305,14 @@ class FleetSim {
   /// Drop last_chat_/pair_backoff_ entries whose cooldown (with any backoff
   /// multiplier) has fully elapsed — they can no longer affect
   /// cooldown_passed(), so pruning never changes behaviour, only memory.
+  /// Incremental at scale: each slow tick scans a bounded budget of entries
+  /// (resuming bucket-wise from a cursor) sized to cover the whole map at
+  /// default fleet sizes and to outpace the insert rate at metro scale.
   void prune_pair_maps();
+  /// Refresh the per-tick vehicle position cache (pair_distance/in_range
+  /// read it instead of recomputing from world state per call) and rebuild
+  /// the neighbor index over it. Called after every world step and restore.
+  void sync_positions();
   /// Run fn(v) for every vehicle, on the pool when one is configured.
   /// Deterministic provided fn(v) only touches vehicle-v state.
   void for_each_vehicle(const std::function<void(std::int64_t)>& fn) const;
@@ -309,6 +329,19 @@ class FleetSim {
   std::unordered_map<std::uint64_t, double> last_chat_;  // pair key -> time
   /// pair key -> consecutive reported failures (chat_backoff bookkeeping).
   std::unordered_map<std::uint64_t, int> pair_backoff_;
+  // Incremental-prune state: bucket cursors + inserts since the last prune
+  // (the scan budget is a multiple of the insert rate). Memory-only — never
+  // serialized; a restored run re-prunes from scratch, which can only delay
+  // reclamation, never change behaviour (DESIGN.md §11).
+  std::size_t prune_chat_bucket_ = 0;
+  std::size_t prune_backoff_bucket_ = 0;
+  std::size_t chat_inserts_ = 0;
+  std::size_t backoff_inserts_ = 0;
+  /// Per-tick vehicle position cache; vpos_[v] == world_.vehicle(v).pos
+  /// between world steps (positions only move inside World::step).
+  std::vector<Vec2> vpos_;
+  net::NeighborIndex nindex_;
+  mutable std::vector<int> neighbor_scratch_;
   FaultInjector faults_;
   TransferStats stats_;
   std::vector<VehicleTransferStats> vstats_;

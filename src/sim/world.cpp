@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "common/bytes.h"
+#include "common/thread_pool.h"
 
 namespace lbchat::sim {
 
@@ -93,7 +94,7 @@ double World::allowed_speed_at(const Vec2& pos, double heading, double base_spee
   return std::min(base_speed, std::sqrt(2.0 * cfg_.brake_decel * headroom));
 }
 
-double World::expert_target_speed(const CarAgent& a, int vehicle_index) const {
+double World::base_target_speed(const CarAgent& a) const {
   double base = cfg_.car_max_speed;
   if (a.route.command_at(a.s) != data::Command::kFollow) base = cfg_.turn_speed;
   // Slow for sharp geometric bends too (degree-2 corners carry no command
@@ -101,8 +102,40 @@ double World::expert_target_speed(const CarAgent& a, int vehicle_index) const {
   const double bend = std::abs(wrap_angle(a.route.heading_at(a.s + cfg_.bend_lookahead_m) -
                                           a.route.heading_at(a.s)));
   if (bend > cfg_.bend_threshold_rad) base = std::min(base, cfg_.turn_speed);
+  return base;
+}
+
+double World::expert_target_speed(const CarAgent& a, int vehicle_index) const {
+  const double base = base_target_speed(a);
   const bool ignore_cars = a.ignore_cars_until_s > time_;
   return allowed_speed_at(a.pos, a.heading, base, vehicle_index, ignore_cars);
+}
+
+double World::allowed_speed_snapshot(const Vec2& pos, double heading, double base_speed,
+                                     int exclude, bool ignore_cars) const {
+  double gap = std::numeric_limits<double>::infinity();
+  // Same corridor predicate as allowed_speed_at. Every obstacle it accepts
+  // lies within hypot(lookahead, halfwidth + radius) of the ego, so a disc
+  // query of that radius yields a candidate superset, and min over the
+  // filtered superset equals min over a full scan — the grid is exact.
+  const auto consider = [&](const Vec2& obstacle, double radius) {
+    const Vec2 e = to_ego_frame(obstacle, pos, heading);
+    if (e.x <= 0.5 || e.x > cfg_.obstacle_lookahead_m) return;
+    if (std::abs(e.y) > cfg_.corridor_halfwidth_m + radius) return;
+    gap = std::min(gap, e.x);
+  };
+  const double max_radius = std::max(cfg_.car_radius_m, cfg_.ped_radius_m);
+  const double query_r =
+      std::hypot(cfg_.obstacle_lookahead_m, cfg_.corridor_halfwidth_m + max_radius) + 1e-9;
+  snap_grid_.for_each_candidate(pos, query_r, [&](std::uint32_t i) {
+    if (static_cast<int>(i) == exclude) return;
+    const bool is_ped = i >= snap_peds_begin_;
+    if (ignore_cars && !is_ped) return;
+    consider(snap_pos_[i], is_ped ? cfg_.ped_radius_m : cfg_.car_radius_m);
+  });
+  if (!std::isfinite(gap)) return base_speed;
+  const double headroom = std::max(gap - cfg_.min_gap_m, 0.0);
+  return std::min(base_speed, std::sqrt(2.0 * cfg_.brake_decel * headroom));
 }
 
 void World::step_car(CarAgent& a, double dt, int vehicle_index, Rng& rng) {
@@ -133,10 +166,88 @@ void World::step_car(CarAgent& a, double dt, int vehicle_index, Rng& rng) {
 }
 
 void World::step(double dt) {
+  if (cfg_.snapshot_mobility) {
+    step_snapshot(dt);
+    return;
+  }
   for (int i = 0; i < num_vehicles(); ++i) {
     step_car(vehicles_[static_cast<std::size_t>(i)], dt, i, route_rng_);
   }
   for (CarAgent& c : cars_) step_car(c, dt, -1, route_rng_);
+  step_peds(dt);
+  time_ += dt;
+}
+
+void World::step_snapshot(double dt) {
+  // Tick-start obstacle snapshot: vehicles, background cars, the external
+  // car (if any), then pedestrians. Index i < snap_peds_begin_ is a car.
+  const std::size_t nv = vehicles_.size();
+  const std::size_t nc = cars_.size();
+  snap_pos_.clear();
+  snap_pos_.reserve(nv + nc + 1 + peds_.size());
+  for (const CarAgent& a : vehicles_) snap_pos_.push_back(a.pos);
+  for (const CarAgent& c : cars_) snap_pos_.push_back(c.pos);
+  if (external_car_.has_value()) snap_pos_.push_back(*external_car_);
+  snap_peds_begin_ = snap_pos_.size();
+  for (const PedAgent& p : peds_) snap_pos_.push_back(p.pos);
+  const double max_radius = std::max(cfg_.car_radius_m, cfg_.ped_radius_m);
+  snap_grid_.rebuild(snap_pos_,
+                     std::hypot(cfg_.obstacle_lookahead_m,
+                                cfg_.corridor_halfwidth_m + max_radius) + 1e-6);
+
+  // Phase 1 (parallel-safe): per-car speed/arc-length update against the
+  // snapshot. Each lane writes only its own car's speed/s/deadlock fields
+  // and reads only snapshot positions — pos/heading stay untouched until
+  // the commit phase, so there are no cross-lane races and the result is
+  // independent of lane count.
+  const auto advance = [&](std::int64_t k) {
+    CarAgent& a = k < static_cast<std::int64_t>(nv)
+                      ? vehicles_[static_cast<std::size_t>(k)]
+                      : cars_[static_cast<std::size_t>(k) - nv];
+    const bool ignore_cars = a.ignore_cars_until_s > time_;
+    const int exclude = k < static_cast<std::int64_t>(nv) ? static_cast<int>(k) : -1;
+    const double target =
+        allowed_speed_snapshot(a.pos, a.heading, base_target_speed(a), exclude, ignore_cars);
+    if (a.speed < target) {
+      a.speed = std::min(target, a.speed + cfg_.accel * dt);
+    } else {
+      a.speed = std::max(target, a.speed - cfg_.brake_decel * dt);
+    }
+    if (a.speed < 0.1) {
+      if (a.blocked_since_s < 0.0) a.blocked_since_s = time_;
+      if (time_ - a.blocked_since_s > cfg_.deadlock_patience_s &&
+          a.ignore_cars_until_s < time_) {
+        a.ignore_cars_until_s = time_ + cfg_.deadlock_ignore_s;
+        a.blocked_since_s = -1.0;
+      }
+    } else {
+      a.blocked_since_s = -1.0;
+    }
+    a.s += a.speed * dt;
+  };
+  const auto ncars = static_cast<std::int64_t>(nv + nc);
+  if (pool_ != nullptr) {
+    pool_->parallel_for(0, ncars, advance);
+  } else {
+    for (std::int64_t k = 0; k < ncars; ++k) advance(k);
+  }
+
+  // Phase 2 (ordered commit): route reassignment consumes the shared route
+  // RNG strictly in agent order — the same id order at any thread count —
+  // then positions/headings are published.
+  for (std::int64_t k = 0; k < ncars; ++k) {
+    CarAgent& a = k < static_cast<std::int64_t>(nv)
+                      ? vehicles_[static_cast<std::size_t>(k)]
+                      : cars_[static_cast<std::size_t>(k) - nv];
+    if (a.s >= a.route.length() - 0.5) assign_new_route(a, route_rng_);
+    a.pos = lane_position(a.route, a.s);
+    a.heading = a.route.heading_at(a.s);
+  }
+  step_peds(dt);
+  time_ += dt;
+}
+
+void World::step_peds(double dt) {
   for (PedAgent& p : peds_) {
     const Vec2 delta = p.target - p.pos;
     const double d = delta.norm();
@@ -155,7 +266,6 @@ void World::step(double dt) {
       p.pos += delta * (std::min(cfg_.ped_speed * dt, d) / d);
     }
   }
-  time_ += dt;
 }
 
 std::vector<Vec2> World::car_positions(int exclude_vehicle) const {

@@ -9,6 +9,7 @@
 
 #include "common/geometry.h"
 #include "common/rng.h"
+#include "common/spatial_grid.h"
 #include "data/frame.h"
 #include "sim/bev.h"
 #include "sim/route.h"
@@ -17,6 +18,7 @@
 namespace lbchat {
 class ByteWriter;
 class ByteReader;
+class ThreadPool;
 }  // namespace lbchat
 
 namespace lbchat::sim {
@@ -59,6 +61,15 @@ struct WorldConfig {
   /// Fraction of peer vehicles whose destinations are urban-biased; the rest
   /// roam rural — this is what makes local datasets heterogeneous.
   double urban_dweller_fraction = 0.5;
+  /// Snapshot-based mobility (DESIGN.md §11): each car's obstacle scan reads
+  /// the tick-START positions of every other agent (via a spatial grid)
+  /// instead of the in-place sweep where agent i sees agents < i already
+  /// moved. Per-car speed updates become order-independent, so step() can
+  /// fan them out across a thread pool and commit positions and route
+  /// reassignments in a sequential, id-ordered phase — bit-identical at any
+  /// thread count. The two modes produce (slightly) different trajectories,
+  /// so this is OFF by default; metro-scale scenarios switch it on.
+  bool snapshot_mobility = false;
 };
 
 /// A car glued to a road route (peer vehicle or background traffic).
@@ -127,6 +138,11 @@ class World {
   /// (peer vehicle `exclude_vehicle` excluded).
   [[nodiscard]] bool collides(const Vec2& pos, double radius, int exclude_vehicle = -1) const;
 
+  /// Lend a worker pool for snapshot-mode stepping (non-owning, transient —
+  /// never serialized). Null or absent: the snapshot phase runs inline,
+  /// producing bit-identical results.
+  void set_pool(ThreadPool* pool) { pool_ = pool; }
+
   /// Register (or clear, with nullopt) the position of an external vehicle —
   /// the online evaluator's test autopilot — so that the world's own traffic
   /// brakes for it, the same courtesy CARLA agents extend to the ego car.
@@ -144,7 +160,17 @@ class World {
  private:
   void assign_new_route(CarAgent& a, Rng& rng);
   void step_car(CarAgent& a, double dt, int vehicle_index, Rng& rng);
+  void step_snapshot(double dt);
+  void step_peds(double dt);
   [[nodiscard]] double expert_target_speed(const CarAgent& a, int vehicle_index) const;
+  /// Command/bend speed cap shared by the legacy and snapshot steppers.
+  [[nodiscard]] double base_target_speed(const CarAgent& a) const;
+  /// Snapshot-mode twin of allowed_speed_at: scans the tick-start obstacle
+  /// grid instead of live agent state. `exclude` indexes snap_pos_ (< 0:
+  /// exclude nothing; self-overlap is rejected by the corridor test anyway).
+  [[nodiscard]] double allowed_speed_snapshot(const Vec2& pos, double heading,
+                                              double base_speed, int exclude,
+                                              bool ignore_cars) const;
 
   WorldConfig cfg_;
   TownMap map_;
@@ -155,6 +181,11 @@ class World {
   Rng route_rng_;
   Rng ped_rng_;
   double time_ = 0.0;
+  ThreadPool* pool_ = nullptr;  // transient; not serialized
+  // Snapshot-mode scratch (rebuilt each tick; never serialized).
+  std::vector<Vec2> snap_pos_;
+  UniformGrid snap_grid_;
+  std::size_t snap_peds_begin_ = 0;  ///< snap_pos_ layout: cars, then peds
 };
 
 }  // namespace lbchat::sim

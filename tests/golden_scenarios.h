@@ -35,15 +35,22 @@ struct GoldenScenario {
   const char* approach;  ///< baselines::approach_from_name input
   std::uint64_t seed;
   bool faults;
+  /// > 0: run at this metro-scaled fleet size (apply_metro_scale — spatial
+  /// index, snapshot mobility and parallel session ticks all on).
+  int metro = 0;
 };
 
 /// Keep this list and its order in sync between regen and test (see the
 /// header comment). Three scenarios cover the paper's protocol, a payload
-/// strategy without session scratch, and a synchronous-round baseline.
+/// strategy without session scratch, and a synchronous-round baseline; the
+/// fourth pins the metro-scaling machinery (DESIGN.md §11). Append new
+/// scenarios LAST: per-process metric accumulation means reordering would
+/// shift every digest after the insertion point.
 inline constexpr GoldenScenario kGoldenScenarios[] = {
     {"lbchat_s7", "LbChat", 7, false},
     {"dp_s11_faults", "DP", 11, true},
     {"dfl_dds_s3_faults", "DFL-DDS", 3, true},
+    {"dp_metro64_s5_faults", "DP", 5, true, 64},
 };
 
 /// Micro scenario: small fleet, short horizon — a few seconds of wall clock.
@@ -80,6 +87,19 @@ inline engine::ScenarioConfig golden_config(std::uint64_t seed, bool faults) {
   return cfg;
 }
 
+/// Metro twin of golden_config: the same tiny scenario tiled up to
+/// `vehicles` with the scaling machinery on, horizons trimmed so the run
+/// stays a few wall-clock seconds.
+inline engine::ScenarioConfig golden_metro_config(std::uint64_t seed, bool faults,
+                                                  int vehicles) {
+  engine::ScenarioConfig cfg = golden_config(seed, faults);
+  cfg.collect_duration_s = 30.0;
+  cfg.duration_s = 60.0;
+  cfg.eval_interval_s = 30.0;
+  engine::apply_metro_scale(cfg, vehicles);
+  return cfg;
+}
+
 inline std::uint64_t fnv64(std::uint64_t h, std::uint64_t v) {
   for (int i = 0; i < 8; ++i) {
     h ^= (v >> (8 * i)) & 0xFFu;
@@ -93,7 +113,8 @@ inline std::uint64_t fnv64(std::uint64_t h, std::uint64_t v) {
 inline std::string run_golden_scenario(const GoldenScenario& sc) {
   obs::reset();
   obs::set_events_enabled(true);
-  engine::FleetSim sim{golden_config(sc.seed, sc.faults),
+  engine::FleetSim sim{sc.metro > 0 ? golden_metro_config(sc.seed, sc.faults, sc.metro)
+                                    : golden_config(sc.seed, sc.faults),
                        baselines::make_strategy(baselines::approach_from_name(sc.approach))};
   sim.prepare();
   sim.run_until(sim.config().duration_s);
