@@ -16,7 +16,9 @@ namespace lbchat::bench {
 namespace {
 
 /// Bump to invalidate every cached result after behavioural code changes.
-constexpr std::uint32_t kCacheVersion = 2;
+/// v3: CachedRun carries the adversary/heterogeneity counters and the
+/// honest/attacker cohort loss curves.
+constexpr std::uint32_t kCacheVersion = 3;
 
 double bench_scale() {
   const char* env = std::getenv("LBCHAT_BENCH_SCALE");
@@ -142,6 +144,27 @@ void hash_scenario(FingerprintHasher& h, const engine::ScenarioConfig& c) {
   h.add(c.faults.chat_backoff);
   h.add(c.faults.backoff_base);
   h.add(c.faults.backoff_max_exp);
+  // Conditional tail, mirroring the checkpoint config fingerprint: an
+  // all-off adversary/heterogeneity config hashes exactly like a scenario
+  // that never mentions the robustness layer, so the (bit-inert) layer's
+  // existence cannot split cache keys for the non-adversarial benches.
+  if (c.adversary.enabled() || c.hetero.enabled()) {
+    h.add(std::string{"adversary-v1"});
+    h.add(c.adversary.byzantine_frac);
+    h.add(c.adversary.poison_models);
+    h.add(c.adversary.poison_scale);
+    h.add(c.adversary.poison_noise);
+    h.add(c.adversary.inflate_coreset_weights);
+    h.add(c.adversary.coreset_inflation);
+    h.add(c.adversary.lie_assist);
+    h.add(c.adversary.assist_bandwidth_lie);
+    h.add(c.hetero.straggler_frac);
+    h.add(c.hetero.straggler_rate);
+    h.add(c.hetero.slow_radio_frac);
+    h.add(c.hetero.slow_radio_scale);
+    h.add(c.hetero.dataset_skew);
+    h.add(c.hetero.dataset_keep_min);
+  }
 }
 
 void write_run(const std::filesystem::path& path, const CachedRun& run) {
@@ -161,6 +184,15 @@ void write_run(const std::filesystem::path& path, const CachedRun& run) {
   w.write_i32(run.transfers.sessions_lost_to_blackout);
   w.write_i32(run.transfers.backoff_retries);
   w.write_f64(run.transfers.offline_vehicle_seconds);
+  w.write_i32(run.transfers.byzantine_payloads_sent);
+  w.write_u64(static_cast<std::uint64_t>(run.transfers.straggler_train_skips));
+  w.write_i32(run.transfers.frames_rejected_invalid);
+  w.write_f64(run.transfers.attacker_peer_weight);
+  w.write_f64(run.transfers.total_peer_weight);
+  w.write_f64_vec(run.honest_loss_curve.times);
+  w.write_f64_vec(run.honest_loss_curve.values);
+  w.write_f64_vec(run.attacker_loss_curve.times);
+  w.write_f64_vec(run.attacker_loss_curve.values);
   w.write_u64(static_cast<std::uint64_t>(run.train_steps));
   w.write_u32(static_cast<std::uint32_t>(run.final_params.size()));
   for (const auto& p : run.final_params) w.write_f32_vec(p);
@@ -191,6 +223,15 @@ bool read_run(const std::filesystem::path& path, CachedRun& run) {
     run.transfers.sessions_lost_to_blackout = r.read_i32();
     run.transfers.backoff_retries = r.read_i32();
     run.transfers.offline_vehicle_seconds = r.read_f64();
+    run.transfers.byzantine_payloads_sent = r.read_i32();
+    run.transfers.straggler_train_skips = static_cast<long>(r.read_u64());
+    run.transfers.frames_rejected_invalid = r.read_i32();
+    run.transfers.attacker_peer_weight = r.read_f64();
+    run.transfers.total_peer_weight = r.read_f64();
+    run.honest_loss_curve.times = r.read_f64_vec();
+    run.honest_loss_curve.values = r.read_f64_vec();
+    run.attacker_loss_curve.times = r.read_f64_vec();
+    run.attacker_loss_curve.values = r.read_f64_vec();
     run.train_steps = static_cast<long>(r.read_u64());
     const auto n = r.read_u32();
     run.final_params.clear();
@@ -266,6 +307,8 @@ CachedRun run_or_load(const engine::ScenarioConfig& cfg, baselines::Approach app
   const engine::RunMetrics m = sim.run();
   if (tracing) export_run_observability(cfg, approach, key, m);
   run.loss_curve = m.loss_curve;
+  run.honest_loss_curve = m.honest_loss_curve;
+  run.attacker_loss_curve = m.attacker_loss_curve;
   run.transfers = m.transfers;
   run.final_params = m.final_params;
   run.train_steps = m.train_steps;

@@ -31,6 +31,10 @@ namespace lbchat::bench {
 /// Cacheable outcome of one training run.
 struct CachedRun {
   TimeSeries loss_curve;
+  /// Honest- / attacker-cohort eval-loss splits (empty unless the run had an
+  /// adversary configured — see engine::RunMetrics).
+  TimeSeries honest_loss_curve;
+  TimeSeries attacker_loss_curve;
   engine::TransferStats transfers;
   std::vector<std::vector<float>> final_params;
   long train_steps = 0;

@@ -5,6 +5,7 @@
 // Usage:
 //   lbchat_sim_cli [--approach NAME] [--vehicles N] [--duration S]
 //                  [--coreset N] [--seed N] [--no-wireless-loss] [--eval]
+//                  [--byzantine-frac F] [--straggler-frac F]
 //                  [--trace-out F] [--events-out F] [--metrics-out F]
 //                  [--report-out F] [--checkpoint-out F] [--resume-from F]
 //                  [--checkpoint-every S]
@@ -35,6 +36,7 @@ void usage() {
                "                      [--num-vehicles N] [--collect-duration S]\n"
                "                      [--coreset N] [--seed N] [--threads N]\n"
                "                      [--no-wireless-loss] [--eval]\n"
+               "                      [--byzantine-frac F] [--straggler-frac F]\n"
                "                      [--trace-out FILE] [--events-out FILE]\n"
                "                      [--metrics-out FILE] [--report-out FILE]\n"
                "  --threads N       worker lanes for per-vehicle training/eval\n"
@@ -46,6 +48,11 @@ void usage() {
                "                    mobility, and parallel session ticks\n"
                "                    (--vehicles changes the count on a fixed map)\n"
                "  --collect-duration S  length of the data-collection phase\n"
+               "  --byzantine-frac F  seed F*N Byzantine vehicles (sign-flipped\n"
+               "                    models, inflated coreset weights, lying\n"
+               "                    assist info; frames stay CRC-valid)\n"
+               "  --straggler-frac F  heterogeneous fleet: F*N compute\n"
+               "                    stragglers, F*N slow radios, dataset skew\n"
                "  --trace-out F     Chrome trace-event JSON (open in Perfetto);\n"
                "                    enables sim-event + wall-clock span tracing\n"
                "  --events-out F    sim-time event log, one JSON object per line\n"
@@ -139,6 +146,15 @@ int main(int argc, char** argv) {
       cfg.seed = static_cast<std::uint64_t>(std::atoll(need_value("--seed")));
     } else if (std::strcmp(argv[i], "--threads") == 0) {
       cfg.num_threads = std::atoi(need_value("--threads"));
+    } else if (std::strcmp(argv[i], "--byzantine-frac") == 0) {
+      cfg.adversary.byzantine_frac = std::atof(need_value("--byzantine-frac"));
+    } else if (std::strcmp(argv[i], "--straggler-frac") == 0) {
+      // One flag drives the whole heterogeneity profile: the same fraction
+      // of compute stragglers and slow radios, plus moderate dataset skew.
+      const double frac = std::atof(need_value("--straggler-frac"));
+      cfg.hetero.straggler_frac = frac;
+      cfg.hetero.slow_radio_frac = frac;
+      cfg.hetero.dataset_skew = frac > 0.0 ? 0.5 : 0.0;
     } else if (std::strcmp(argv[i], "--no-wireless-loss") == 0) {
       cfg.wireless_loss = false;
     } else if (std::strcmp(argv[i], "--eval") == 0) {
@@ -269,6 +285,16 @@ int main(int argc, char** argv) {
               m.transfers.coreset_sends_started);
   std::printf("bytes delivered: %.1f MB\n",
               static_cast<double>(m.transfers.bytes_delivered) / 1048576.0);
+  if (cfg.adversary.enabled()) {
+    std::printf("byzantine: %d poisoned payloads sent, attacker weight share %.3f, "
+                "%d frames rejected for invalid values\n",
+                m.transfers.byzantine_payloads_sent, m.transfers.attacker_weight_share(),
+                m.transfers.frames_rejected_invalid);
+  }
+  if (cfg.hetero.enabled()) {
+    std::printf("heterogeneity: %ld straggler train skips\n",
+                m.transfers.straggler_train_skips);
+  }
 
   if (run_eval) {
     eval::EvalConfig ec;

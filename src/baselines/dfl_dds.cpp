@@ -87,7 +87,7 @@ void DflDdsStrategy::aggregate(FleetSim& sim, int receiver, int sender,
     q_self[k] = (1.0 - best_alpha) * q_self[k] +
                 best_alpha * (k < sender_comp.size() ? sender_comp[k] : 0.0);
   }
-  obs::emit(sim.time(), obs::EventKind::kAggregate, receiver, sender, best_alpha);
+  sim.note_aggregate(receiver, sender, best_alpha);
 }
 
 void DflDdsStrategy::save_state(const FleetSim& sim, ByteWriter& w) const {

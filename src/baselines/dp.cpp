@@ -52,7 +52,7 @@ void DpStrategy::aggregate(FleetSim& sim, int receiver, int sender,
   for (std::size_t k = 0; k < params.size(); ++k) {
     params[k] = a * params[k] + b * peer_params[k];
   }
-  obs::emit(sim.time(), obs::EventKind::kAggregate, receiver, sender, alpha);
+  sim.note_aggregate(receiver, sender, alpha);
 }
 
 }  // namespace lbchat::baselines

@@ -71,6 +71,10 @@ void GossipBaseStrategy::on_transfer_complete(FleetSim& sim, PairSession& s,
       if (params.size() != sim.node(receiver).model.param_count()) return;
       aggregate(sim, receiver, sender, params, comp);
       return;
+    } catch (const WireValueError&) {
+      sim.note_frame_rejected(receiver, /*is_model=*/true, /*invalid_values=*/true);
+      sim.note_pair_failure(s.vehicle_a(), s.vehicle_b());
+      return;
     } catch (const std::exception&) {
       // fall through to the rejection path
     }

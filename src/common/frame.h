@@ -20,8 +20,27 @@
 #include <cstddef>
 #include <cstdint>
 #include <span>
+#include <stdexcept>
+#include <string>
 #include <string_view>
 #include <vector>
+
+namespace lbchat {
+
+/// Thrown by payload deserializers when a *structurally* valid frame carries
+/// semantically impossible values (non-finite or absurdly out-of-range
+/// weights/fields). A CRC envelope cannot catch these — a hostile or buggy
+/// sender computes a correct checksum over bad values — so decoders bound
+/// every value they accept. Derives from std::runtime_error, keeping every
+/// existing catch(std::exception)/catch(std::runtime_error) rejection path
+/// working; receivers that want to count these separately catch it first
+/// (TransferStats::frames_rejected_invalid).
+class WireValueError : public std::runtime_error {
+ public:
+  explicit WireValueError(const std::string& what) : std::runtime_error(what) {}
+};
+
+}  // namespace lbchat
 
 namespace lbchat::frame {
 

@@ -163,6 +163,7 @@ void LbChatStrategy::on_transfer_complete(FleetSim& sim, PairSession& s, const S
   // keeps its local state, records the event, and the pair backs off.
   const frame::Decoded dec = frame::decode(s.delivered_payload());
   bool ok = dec.ok() && dec.type == frame_type_for(tag.kind);
+  bool invalid_values = false;
   if (ok) {
     try {
       ByteReader r{dec.payload};
@@ -195,6 +196,14 @@ void LbChatStrategy::on_transfer_complete(FleetSim& sim, PairSession& s, const S
         aggregate_received(sim, receiver, tag.from, sparse,
                            from_a ? chat->coreset_a : chat->coreset_b);
       }
+    } catch (const WireValueError& e) {
+      // Structurally valid frame carrying semantically impossible values
+      // (non-finite / out-of-range weights) — tracked separately from
+      // transport damage.
+      LBCHAT_LOG_DEBUG("chat %d<->%d: payload values rejected: %s", s.vehicle_a(),
+                       s.vehicle_b(), e.what());
+      ok = false;
+      invalid_values = true;
     } catch (const std::exception& e) {
       LBCHAT_LOG_DEBUG("chat %d<->%d: payload rejected after decode: %s", s.vehicle_a(),
                        s.vehicle_b(), e.what());
@@ -202,7 +211,7 @@ void LbChatStrategy::on_transfer_complete(FleetSim& sim, PairSession& s, const S
     }
   }
   if (!ok) {
-    sim.note_frame_rejected(receiver, tag.kind == StageTag::kModel);
+    sim.note_frame_rejected(receiver, tag.kind == StageTag::kModel, invalid_values);
     sim.note_pair_failure(s.vehicle_a(), s.vehicle_b());
     // A corrupt assist frame leaves the pair without trustworthy planning
     // info — degrade gracefully by ending the chat before the bulk stages.
@@ -349,7 +358,7 @@ void LbChatStrategy::aggregate_received(FleetSim& sim, int receiver, int sender,
   for (std::size_t k = 0; k < params.size(); ++k) {
     params[k] = static_cast<float>(w_self * params[k] + w_peer * peer_params[k]);
   }
-  obs::emit(sim.time(), obs::EventKind::kAggregate, receiver, sender, w_peer);
+  sim.note_aggregate(receiver, sender, w_peer);
 }
 
 void LbChatStrategy::save_state(const engine::FleetSim& sim, ByteWriter& w) const {

@@ -1,13 +1,21 @@
 // Wire serialization of coresets (samples + in-coreset weights w_C).
 #pragma once
 
+#include <cmath>
 #include <stdexcept>
 
 #include "common/bytes.h"
+#include "common/frame.h"
 #include "coreset/coreset.h"
 #include "data/sample_io.h"
 
 namespace lbchat::coreset {
+
+/// Largest in-coreset weight w_C a deserialized coreset may carry. w_C
+/// entries are data-mass estimates (sums of sample weights), so the cap sits
+/// well above anything a real fleet produces while still bounding what a
+/// weight-sensitive aggregator can be fed.
+inline constexpr double kMaxWireCoresetWeight = 1e9;
 
 inline void write_coreset(ByteWriter& w, const Coreset& c) {
   w.write_u8(static_cast<std::uint8_t>(c.spec.channels));
@@ -20,8 +28,9 @@ inline void write_coreset(ByteWriter& w, const Coreset& c) {
 }
 
 /// Reads and validates a coreset against the fleet-wide `expected` BevSpec.
-/// Throws std::out_of_range (truncated) or std::runtime_error (spec mismatch,
-/// weight vector not parallel to samples, malformed frame).
+/// Throws std::out_of_range (truncated), std::runtime_error (spec mismatch,
+/// weight vector not parallel to samples, malformed frame), or WireValueError
+/// (non-finite / out-of-range w_C entries).
 inline Coreset read_coreset(ByteReader& r, const data::BevSpec& expected) {
   Coreset c;
   c.spec.channels = r.read_u8();
@@ -40,6 +49,11 @@ inline Coreset read_coreset(ByteReader& r, const data::BevSpec& expected) {
   c.wc = r.read_f64_vec();
   if (c.wc.size() != c.samples.size()) {
     throw std::runtime_error{"read_coreset: weight vector length mismatch"};
+  }
+  for (const double wc : c.wc) {
+    if (!std::isfinite(wc) || wc < 0.0 || wc > kMaxWireCoresetWeight) {
+      throw WireValueError{"read_coreset: w_C out of range"};
+    }
   }
   return c;
 }

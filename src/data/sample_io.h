@@ -7,12 +7,21 @@
 // validating deserializer is the second line of defence.
 #pragma once
 
+#include <cmath>
 #include <stdexcept>
 
 #include "common/bytes.h"
+#include "common/frame.h"
 #include "data/frame.h"
 
 namespace lbchat::data {
+
+/// Largest importance weight a deserialized sample may carry. Collected
+/// weights live in [0.25, 10] (data/collector.cpp); the cap leaves orders of
+/// magnitude of headroom for merged/reweighted coresets while rejecting the
+/// non-finite and astronomically scaled values a hostile sender could use to
+/// dominate any weighted average.
+inline constexpr double kMaxWireSampleWeight = 1e6;
 
 /// Pack a binary occupancy raster to bits, LSB-first within each byte.
 inline std::vector<std::uint8_t> pack_bev(const BevGrid& bev) {
@@ -46,8 +55,9 @@ inline void write_sample(ByteWriter& w, const Sample& s) {
 }
 
 /// Reads and validates one frame against the fleet-wide `spec`. Throws
-/// std::out_of_range (truncated) or std::runtime_error (command out of range,
-/// BEV size mismatch) — never constructs a structurally invalid Sample.
+/// std::out_of_range (truncated), std::runtime_error (command out of range,
+/// BEV size mismatch), or WireValueError (non-finite / out-of-range weight) —
+/// never constructs a structurally invalid Sample.
 inline Sample read_sample(ByteReader& r, const BevSpec& spec) {
   Sample s;
   const std::uint8_t cmd = r.read_u8();
@@ -58,6 +68,9 @@ inline Sample read_sample(ByteReader& r, const BevSpec& spec) {
   s.bev = unpack_bev(r.read_bytes(), spec);
   for (float& v : s.waypoints) v = r.read_f32();
   s.weight = r.read_f64();
+  if (!std::isfinite(s.weight) || s.weight < 0.0 || s.weight > kMaxWireSampleWeight) {
+    throw WireValueError{"read_sample: weight out of range"};
+  }
   s.id = r.read_u64();
   s.source_vehicle = r.read_u32();
   return s;

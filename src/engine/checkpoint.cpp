@@ -21,7 +21,8 @@ namespace lbchat::engine {
 namespace {
 
 constexpr std::uint8_t kNumSections = 9;
-constexpr std::uint8_t kMaxEventKind = static_cast<std::uint8_t>(obs::EventKind::kEval);
+constexpr std::uint8_t kMaxEventKind =
+    static_cast<std::uint8_t>(obs::EventKind::kStragglerSkip);
 
 void fnv_mix(std::uint64_t& h, std::span<const std::uint8_t> bytes) {
   for (const std::uint8_t b : bytes) {
@@ -129,6 +130,29 @@ void write_config(ByteWriter& w, const ScenarioConfig& c) {
     w.write_u8(0x5C);
     w.write_u8(c.world.snapshot_mobility ? 1 : 0);
     w.write_u8(c.parallel_sessions ? 1 : 0);
+  }
+  // Adversary/heterogeneity block (same conditional-tail pattern): written
+  // only when one of the layers is configured, so all-off runs keep the
+  // pre-existing fingerprint and checkpoint bytes. The fingerprint is hashed,
+  // never parsed, so appending fields here is always safe.
+  if (c.adversary.enabled() || c.hetero.enabled()) {
+    w.write_u8(0xAD);
+    const AdversaryConfig& a = c.adversary;
+    w.write_f64(a.byzantine_frac);
+    w.write_u8(a.poison_models ? 1 : 0);
+    w.write_f64(a.poison_scale);
+    w.write_f64(a.poison_noise);
+    w.write_u8(a.inflate_coreset_weights ? 1 : 0);
+    w.write_f64(a.coreset_inflation);
+    w.write_u8(a.lie_assist ? 1 : 0);
+    w.write_f64(a.assist_bandwidth_lie);
+    const HeteroConfig& h = c.hetero;
+    w.write_f64(h.straggler_frac);
+    w.write_f64(h.straggler_rate);
+    w.write_f64(h.slow_radio_frac);
+    w.write_f64(h.slow_radio_scale);
+    w.write_f64(h.dataset_skew);
+    w.write_f64(h.dataset_keep_min);
   }
 }
 
@@ -261,6 +285,14 @@ void FleetSim::save_checkpoint(ByteWriter& out) const {
       w.write_u64(k);
       w.write_i32(n);
     }
+    // Adversary/hetero mutable state: conditional tail, present exactly when
+    // the config block fingerprints it (writer and reader always agree
+    // because restore() verified the fingerprint first).
+    if (cfg_.adversary.enabled() || cfg_.hetero.enabled()) {
+      w.write_u8(0x5E);
+      adversary_.save(w);
+      hetero_.save(w);
+    }
     section(CkptSection::kCore, w);
   }
   {  // kWorld
@@ -351,6 +383,14 @@ void FleetSim::save_checkpoint(ByteWriter& out) const {
       w.write_i32(v.model_frames_rejected);
       w.write_f64(v.offline_seconds);
     }
+    if (cfg_.adversary.enabled() || cfg_.hetero.enabled()) {
+      w.write_u8(0x5E);
+      w.write_i32(stats_.byzantine_payloads_sent);
+      w.write_u64(static_cast<std::uint64_t>(stats_.straggler_train_skips));
+      w.write_i32(stats_.frames_rejected_invalid);
+      w.write_f64(stats_.attacker_peer_weight);
+      w.write_f64(stats_.total_peer_weight);
+    }
     section(CkptSection::kStats, w);
   }
   {  // kMetrics: loss curves accumulated so far. Transfer/param fields of
@@ -360,6 +400,11 @@ void FleetSim::save_checkpoint(ByteWriter& out) const {
     write_time_series(w, metrics_.loss_curve);
     w.write_u32(static_cast<std::uint32_t>(metrics_.per_vehicle_loss.size()));
     for (const auto& ts : metrics_.per_vehicle_loss) write_time_series(w, ts);
+    if (cfg_.adversary.enabled()) {
+      w.write_u8(0x5E);
+      write_time_series(w, metrics_.honest_loss_curve);
+      write_time_series(w, metrics_.attacker_loss_curve);
+    }
     section(CkptSection::kMetrics, w);
   }
   {  // kStrategy
@@ -458,6 +503,13 @@ CkptStatus FleetSim::restore(ByteReader& in) {
             const std::uint64_t key = s.read_u64();
             pair_backoff_[key] = s.read_i32();
           }
+          if (cfg_.adversary.enabled() || cfg_.hetero.enabled()) {
+            if (s.read_u8() != 0x5E) {
+              throw std::runtime_error{"checkpoint: missing adversary core tail"};
+            }
+            adversary_.load(s);
+            hetero_.load(s);
+          }
           break;
         }
         case CkptSection::kWorld:
@@ -538,9 +590,11 @@ CkptStatus FleetSim::restore(ByteReader& in) {
               tag.payload = s.read_i32();
               const std::uint64_t remaining = s.read_u64();
               auto payload = s.read_bytes();
-              sess->queue_.push_back(PairSession::Stage{
-                  tag, net::Transfer{static_cast<std::size_t>(remaining), cfg_.radio},
-                  std::move(payload)});
+              sess->queue_.push_back(
+                  PairSession::Stage{tag,
+                                     net::Transfer{static_cast<std::size_t>(remaining),
+                                                   session_radio(sess->a_, sess->b_)},
+                                     std::move(payload)});
             }
             const auto scratch = s.read_bytes();
             ByteReader sr{scratch};
@@ -585,6 +639,16 @@ CkptStatus FleetSim::restore(ByteReader& in) {
             v.model_frames_rejected = s.read_i32();
             v.offline_seconds = s.read_f64();
           }
+          if (cfg_.adversary.enabled() || cfg_.hetero.enabled()) {
+            if (s.read_u8() != 0x5E) {
+              throw std::runtime_error{"checkpoint: missing adversary stats tail"};
+            }
+            stats_.byzantine_payloads_sent = s.read_i32();
+            stats_.straggler_train_skips = static_cast<long>(s.read_u64());
+            stats_.frames_rejected_invalid = s.read_i32();
+            stats_.attacker_peer_weight = s.read_f64();
+            stats_.total_peer_weight = s.read_f64();
+          }
           require_exhausted(s, "stats");
           break;
         }
@@ -597,6 +661,13 @@ CkptStatus FleetSim::restore(ByteReader& in) {
           }
           metrics_.per_vehicle_loss.resize(np);
           for (auto& ts : metrics_.per_vehicle_loss) ts = read_time_series(s);
+          if (cfg_.adversary.enabled()) {
+            if (s.read_u8() != 0x5E) {
+              throw std::runtime_error{"checkpoint: missing cohort metrics tail"};
+            }
+            metrics_.honest_loss_curve = read_time_series(s);
+            metrics_.attacker_loss_curve = read_time_series(s);
+          }
           require_exhausted(s, "metrics");
           break;
         }

@@ -56,6 +56,8 @@ FleetSim::FleetSim(const ScenarioConfig& cfg, std::unique_ptr<Strategy> strategy
       world_(cfg.world, cfg.num_vehicles, cfg.seed),
       strategy_(std::move(strategy)),
       faults_(cfg.faults, cfg.seed, world_.map().extent(), cfg.num_vehicles),
+      adversary_(cfg.adversary, cfg.seed, cfg.num_vehicles),
+      hetero_(cfg.hetero, cfg.seed, cfg.num_vehicles),
       strategy_rng_(Rng{cfg.seed}.fork("strategy")),
       net_rng_(Rng{cfg.seed}.fork("net")),
       infra_rng_(Rng{cfg.seed}.fork("infra")) {
@@ -148,6 +150,25 @@ void FleetSim::collect_phase() {
         node.dataset.add(std::move(s));
       }
     }
+    // Heterogeneity: skewed dataset sizes. Stride-decimate the training set
+    // down to the vehicle's keep fraction (Bresenham-style integer selection
+    // — deterministic, no per-sample RNG). Eval/validation splits untouched;
+    // keep >= 1 leaves the dataset byte-identical to the unskewed path.
+    const double keep = hetero_.dataset_keep(v);
+    if (keep < 1.0 && node.dataset.samples().size() > 1) {
+      const std::size_t total = node.dataset.samples().size();
+      const auto kept = std::max<std::size_t>(
+          1, static_cast<std::size_t>(std::llround(keep * static_cast<double>(total))));
+      if (kept < total) {
+        data::WeightedDataset trimmed{cfg_.policy.bev};
+        for (std::size_t j = 0; j < total; ++j) {
+          if ((j + 1) * kept / total > j * kept / total) {
+            trimmed.add(node.dataset.samples()[j]);
+          }
+        }
+        node.dataset = std::move(trimmed);
+      }
+    }
     if (node.dataset.empty()) throw std::logic_error{"collect_phase: empty local dataset"};
   }
   sync_positions();
@@ -203,15 +224,29 @@ void FleetSim::note_pair_failure(int a, int b) {
   obs::emit(time_, obs::EventKind::kBackoffExtend, a, b, consecutive);
 }
 
-void FleetSim::note_frame_rejected(int receiver, bool is_model) {
+void FleetSim::note_frame_rejected(int receiver, bool is_model, bool invalid_values) {
   ++stats_.frames_rejected;
   if (is_model) ++stats_.model_frames_rejected;
+  if (invalid_values) ++stats_.frames_rejected_invalid;
   if (receiver >= 0) {
     VehicleTransferStats& vs = vehicle_stats(receiver);
     ++vs.frames_rejected;
     if (is_model) ++vs.model_frames_rejected;
   }
   obs::emit(time_, obs::EventKind::kFrameReject, receiver, -1, is_model ? 1.0 : 0.0);
+}
+
+void FleetSim::note_aggregate(int receiver, int sender, double peer_weight) {
+  // Attacker-weight share: accumulate the peer-weight mass honest receivers
+  // grant, split by sender cohort. Byzantine receivers are excluded — their
+  // merges do not dilute the honest fleet.
+  if (adversary_.active() && receiver >= 0 && !adversary_.byzantine(receiver)) {
+    stats_.total_peer_weight += peer_weight;
+    if (sender >= 0 && adversary_.byzantine(sender)) {
+      stats_.attacker_peer_weight += peer_weight;
+    }
+  }
+  obs::emit(time_, obs::EventKind::kAggregate, receiver, sender, peer_weight);
 }
 
 void FleetSim::note_pair_success(int a, int b) {
@@ -228,6 +263,9 @@ net::AssistInfo FleetSim::assist_info(int v, bool share_route) const {
   info.route_s = car.s;
   info.route = share_route ? &car.route : nullptr;
   info.bandwidth_bps = cfg_.radio.bandwidth_bps;
+  // Heterogeneity: a slow radio advertises its scaled bandwidth, so priority
+  // scores (min{B_i, B_j}, Eq. (5)) see the true link capacity.
+  if (hetero_.active()) info.bandwidth_bps *= hetero_.radio_scale(v);
   return info;
 }
 
@@ -281,10 +319,34 @@ PairSession& FleetSim::start_infra_session(int a, const Vec2& pos) {
   return *sessions_.back();
 }
 
+net::RadioConfig FleetSim::session_radio(int a, int b) const {
+  net::RadioConfig radio = cfg_.radio;
+  if (hetero_.active()) {
+    const double sa = hetero_.radio_scale(a);
+    const double sb = b >= 0 ? hetero_.radio_scale(b) : 1.0;
+    radio.bandwidth_bps *= std::min(sa, sb);
+  }
+  return radio;
+}
+
 void FleetSim::queue_transfer(PairSession& s, int from_vehicle, std::size_t bytes,
                               StageTag tag, std::vector<std::uint8_t> payload) {
   tag.from = from_vehicle;
   const int receiver = s.peer_of(from_vehicle);
+  // Byzantine mutation happens here — at payload-construction time, before
+  // the bytes enter the wire — so every poisoned frame re-encodes with a
+  // valid CRC and only value-level scoring at the receiver can catch it.
+  // queue_transfer runs on the single-threaded tick path (strategy on_tick /
+  // session callbacks), so the adversary's noise stream needs no locking.
+  if (adversary_.active() && from_vehicle >= 0 && adversary_.byzantine(from_vehicle) &&
+      !payload.empty()) {
+    if (adversary_.transform_payload(static_cast<int>(tag.kind), payload,
+                                     cfg_.policy.bev)) {
+      ++stats_.byzantine_payloads_sent;
+      obs::emit(time_, obs::EventKind::kByzantinePayload, from_vehicle, receiver,
+                static_cast<double>(tag.kind));
+    }
+  }
   if (tag.kind == StageTag::kModel && bytes > 0) {
     ++stats_.model_sends_started;
     if (receiver >= 0) ++vehicle_stats(receiver).model_recv_started;
@@ -292,8 +354,8 @@ void FleetSim::queue_transfer(PairSession& s, int from_vehicle, std::size_t byte
               static_cast<double>(bytes));
   }
   if (tag.kind == StageTag::kCoreset && bytes > 0) ++stats_.coreset_sends_started;
-  s.queue_.push_back(
-      PairSession::Stage{tag, net::Transfer{bytes, cfg_.radio}, std::move(payload)});
+  s.queue_.push_back(PairSession::Stage{tag, net::Transfer{bytes, session_radio(s.a_, s.b_)},
+                                        std::move(payload)});
 }
 
 bool FleetSim::infra_transfer_succeeds(Rng& r) {
@@ -541,6 +603,25 @@ void FleetSim::eval_and_record(RunMetrics& metrics, double t) {
   for (const double l : losses) sum += l;
   const double mean = sum / static_cast<double>(nodes_.size());
   metrics.loss_curve.add(t, mean);
+  if (adversary_.active()) {
+    // Cohort split from the same per-vehicle losses (sequential reduction,
+    // same order). Degenerate cohorts record 0 to keep the series aligned.
+    double honest_sum = 0.0, attacker_sum = 0.0;
+    std::size_t honest_n = 0, attacker_n = 0;
+    for (std::size_t v = 0; v < nodes_.size(); ++v) {
+      if (adversary_.byzantine(static_cast<int>(v))) {
+        attacker_sum += losses[v];
+        ++attacker_n;
+      } else {
+        honest_sum += losses[v];
+        ++honest_n;
+      }
+    }
+    metrics.honest_loss_curve.add(t, honest_n > 0 ? honest_sum / static_cast<double>(honest_n)
+                                                  : 0.0);
+    metrics.attacker_loss_curve.add(
+        t, attacker_n > 0 ? attacker_sum / static_cast<double>(attacker_n) : 0.0);
+  }
   metrics.per_vehicle_loss.resize(nodes_.size());
   for (std::size_t v = 0; v < nodes_.size(); ++v) {
     metrics.per_vehicle_loss[v].add(t, losses[v]);
@@ -568,6 +649,17 @@ void FleetSim::publish_run_metrics() const {
   set("transfer.offline_vehicle_seconds", stats_.offline_vehicle_seconds);
   set("transfer.model_receiving_rate", stats_.model_receiving_rate());
   set("transfer.effective_model_receiving_rate", stats_.effective_model_receiving_rate());
+  // Gated on configuration (not just nonzero values) so runs without an
+  // adversary/heterogeneity block — including the committed golden scenarios
+  // — publish a byte-identical registry snapshot.
+  if (cfg_.adversary.enabled()) {
+    set("adversary.byzantine_payloads_sent", stats_.byzantine_payloads_sent);
+    set("adversary.attacker_weight_share", stats_.attacker_weight_share());
+    set("adversary.frames_rejected_invalid", stats_.frames_rejected_invalid);
+  }
+  if (cfg_.hetero.enabled()) {
+    set("hetero.straggler_train_skips", static_cast<double>(stats_.straggler_train_skips));
+  }
 }
 
 void FleetSim::prepare() {
@@ -601,15 +693,37 @@ void FleetSim::run_until(double t_end) {
       reap_sessions();
     }
     if (time_ >= next_train_) {
+      // Straggler dispatch runs sequentially before the (possibly parallel)
+      // train loop: the credit accumulators mutate in vehicle order and the
+      // skip events/counters land on the single-threaded path, so the gate —
+      // and everything downstream of it — is thread-count-invariant.
+      if (hetero_.active()) {
+        train_gate_.assign(static_cast<std::size_t>(num_vehicles()), 1);
+        for (int v = 0; v < num_vehicles(); ++v) {
+          if (faults_.offline(v)) {
+            train_gate_[static_cast<std::size_t>(v)] = 0;
+            continue;
+          }
+          if (!hetero_.should_train(v)) {
+            train_gate_[static_cast<std::size_t>(v)] = 0;
+            ++stats_.straggler_train_skips;
+            obs::emit(time_, obs::EventKind::kStragglerSkip, v);
+          }
+        }
+      }
+      const auto gated = [this](int v) {
+        return hetero_.active() ? train_gate_[static_cast<std::size_t>(v)] == 0
+                                : faults_.offline(v);
+      };
       if (strategy_->parallel_local_train()) {
-        for_each_vehicle([this](std::int64_t v) {
-          if (faults_.offline(static_cast<int>(v))) return;
+        for_each_vehicle([this, &gated](std::int64_t v) {
+          if (gated(static_cast<int>(v))) return;
           LBCHAT_OBS_SPAN("engine.local_train_lane");
           strategy_->local_train(*this, static_cast<int>(v));
         });
       } else {
         for (int v = 0; v < num_vehicles(); ++v) {
-          if (faults_.offline(v)) continue;
+          if (gated(v)) continue;
           LBCHAT_OBS_SPAN("engine.local_train_lane");
           strategy_->local_train(*this, v);
         }

@@ -251,7 +251,18 @@ class FleetSim {
   void note_pair_success(int a, int b);
   /// A strategy rejected a delivered frame at verification. Centralizes the
   /// fleet + per-vehicle counters and the kFrameReject trace event.
-  void note_frame_rejected(int receiver, bool is_model);
+  /// `invalid_values` marks a frame that decoded structurally but carried
+  /// semantically impossible values (WireValueError, common/frame.h) — it is
+  /// additionally booked under TransferStats::frames_rejected_invalid.
+  void note_frame_rejected(int receiver, bool is_model, bool invalid_values = false);
+  /// A strategy merged a peer model with weight `peer_weight` (the blend
+  /// coefficient on the received parameters). Emits the kAggregate event
+  /// exactly as the strategies used to, and — when an adversary is
+  /// configured — accumulates the attacker-weight-share accounting for
+  /// honest receivers. Call in place of emitting kAggregate directly.
+  void note_aggregate(int receiver, int sender, double peer_weight);
+  [[nodiscard]] const AdversaryModel& adversary() const { return adversary_; }
+  [[nodiscard]] const HeteroModel& hetero() const { return hetero_; }
   /// Assist info for a vehicle. `share_route = false` yields the baseline
   /// view (constant-velocity extrapolation instead of the shared route).
   [[nodiscard]] net::AssistInfo assist_info(int v, bool share_route = true) const;
@@ -316,6 +327,12 @@ class FleetSim {
   /// Run fn(v) for every vehicle, on the pool when one is configured.
   /// Deterministic provided fn(v) only touches vehicle-v state.
   void for_each_vehicle(const std::function<void(std::int64_t)>& fn) const;
+  /// RadioConfig governing a session link between `a` and `b` (b < 0 = RSU):
+  /// the configured radio with bandwidth scaled by min of the endpoints'
+  /// heterogeneity scales (the session rate is min{B_i, B_j}). Identical to
+  /// cfg_.radio with heterogeneity off. Used at Transfer construction and,
+  /// identically, at checkpoint restore.
+  [[nodiscard]] net::RadioConfig session_radio(int a, int b) const;
 
   ScenarioConfig cfg_;
   net::WirelessLossModel loss_;
@@ -343,6 +360,12 @@ class FleetSim {
   net::NeighborIndex nindex_;
   mutable std::vector<int> neighbor_scratch_;
   FaultInjector faults_;
+  AdversaryModel adversary_;
+  HeteroModel hetero_;
+  /// Per-train-interval straggler gate scratch (filled by the sequential
+  /// dispatch in run_until before the — possibly parallel — train loop, so
+  /// skip decisions and their trace events stay thread-count-invariant).
+  std::vector<char> train_gate_;
   TransferStats stats_;
   std::vector<VehicleTransferStats> vstats_;
   Rng strategy_rng_;

@@ -33,6 +33,28 @@ struct TransferStats {
   /// Integrated vehicle-seconds spent offline due to churn.
   double offline_vehicle_seconds = 0.0;
 
+  // --- Adversary / heterogeneity observability (all zero when both off) ---
+  /// Payloads a Byzantine sender mutated before the wire (CRC stays valid).
+  int byzantine_payloads_sent = 0;
+  /// Train intervals skipped by compute stragglers (HeteroConfig).
+  long straggler_train_skips = 0;
+  /// Delivered frames rejected because a structurally valid payload carried
+  /// semantically impossible values (non-finite / out-of-range weights) —
+  /// a subset of `frames_rejected`. Checkpointed only when the adversary or
+  /// heterogeneity layer is configured (it cannot become nonzero otherwise
+  /// short of a CRC collision).
+  int frames_rejected_invalid = 0;
+  /// Aggregate peer-weight mass honest receivers granted, split by whether
+  /// the sender was Byzantine. attacker_weight_share() is the headline: the
+  /// fraction of merged peer influence attackers captured (uniform baseline
+  /// = the Byzantine fraction; a value-scoring defense pushes it lower).
+  double attacker_peer_weight = 0.0;
+  double total_peer_weight = 0.0;
+
+  [[nodiscard]] double attacker_weight_share() const {
+    return total_peer_weight > 0.0 ? attacker_peer_weight / total_peer_weight : 0.0;
+  }
+
   /// §IV-C: "successful model receiving rate on average".
   [[nodiscard]] double model_receiving_rate() const {
     return model_sends_started > 0
@@ -82,6 +104,13 @@ struct VehicleTransferStats {
 struct RunMetrics {
   /// Mean held-out loss of all vehicles' models vs simulated time.
   TimeSeries loss_curve;
+  /// Cohort split of the loss curve, recorded only when an adversary is
+  /// configured (both empty otherwise): mean held-out loss of the honest
+  /// vehicles' models and of the Byzantine vehicles' models. The honest
+  /// curve is the robustness headline — what collaboration is worth to a
+  /// vehicle that is *not* attacking.
+  TimeSeries honest_loss_curve;
+  TimeSeries attacker_loss_curve;
   TransferStats transfers;
   /// Per-vehicle byte/chat/reception accounting (index = vehicle id).
   std::vector<VehicleTransferStats> per_vehicle;

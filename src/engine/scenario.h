@@ -6,6 +6,7 @@
 #include <cstdint>
 
 #include "coreset/coreset.h"
+#include "engine/adversary.h"
 #include "engine/faults.h"
 #include "net/wireless.h"
 #include "nn/policy.h"
@@ -84,6 +85,16 @@ struct ScenarioConfig {
   /// chat backoff). All off by default: a default-constructed FaultConfig
   /// leaves every run bit-identical to an engine without fault injection.
   FaultConfig faults{};
+
+  /// Byzantine-peer model (engine/adversary.h): a seeded subset of vehicles
+  /// mutates its outgoing payloads — sign-flipped models, inflated coreset
+  /// weights, lying assist info — all CRC-valid on the wire. Off by default
+  /// (bit-inert, and absent from the checkpoint config fingerprint when off).
+  AdversaryConfig adversary{};
+  /// Fleet heterogeneity (engine/adversary.h): compute stragglers, slow
+  /// radios, skewed dataset sizes. Off by default with the same bit-inertness
+  /// contract as the adversary layer.
+  HeteroConfig hetero{};
 };
 
 /// One-line metro fleet: grow the scenario to `num_vehicles` while holding

@@ -11,9 +11,19 @@
 #include <stdexcept>
 
 #include "common/bytes.h"
+#include "common/frame.h"
 #include "net/contact.h"
 
 namespace lbchat::net {
+
+// Magnitude bounds for deserialized assist fields. Generous — a metro-scale
+// world is O(1e4) m and V2V bandwidth O(1e8) bps — but finite, so a hostile
+// frame cannot park absurd coordinates or bandwidth claims in the contact
+// estimator. All enforced in read_assist via WireValueError.
+inline constexpr double kMaxWireAssistCoordM = 1e7;
+inline constexpr double kMaxWireAssistSpeedMps = 1e4;
+inline constexpr double kMaxWireAssistRouteS = 1e9;
+inline constexpr double kMaxWireAssistBandwidthBps = 1e12;
 
 inline void write_assist(ByteWriter& w, const AssistInfo& info) {
   w.write_f64(info.pos.x);
@@ -52,9 +62,9 @@ struct DeserializedAssist {
 };
 
 /// Reads and validates assist info against the shared town map. Throws
-/// std::out_of_range (truncated) or std::runtime_error (non-finite fields,
-/// route node ids outside the map) — corrupt values would otherwise poison
-/// every downstream contact estimate.
+/// std::out_of_range (truncated), WireValueError (non-finite or out-of-bound
+/// fields), or std::runtime_error (route node ids outside the map) — corrupt
+/// values would otherwise poison every downstream contact estimate.
 inline DeserializedAssist read_assist(ByteReader& r, const sim::TownMap& map) {
   DeserializedAssist out;
   AssistInfo& info = out.info;
@@ -65,9 +75,18 @@ inline DeserializedAssist read_assist(ByteReader& r, const sim::TownMap& map) {
   info.speed = r.read_f64();
   info.route_s = r.read_f64();
   info.bandwidth_bps = r.read_f64();
-  for (const double v : {info.pos.x, info.pos.y, info.velocity.x, info.velocity.y, info.speed,
-                         info.route_s, info.bandwidth_bps}) {
-    if (!std::isfinite(v)) throw std::runtime_error{"read_assist: non-finite field"};
+  const auto bounded = [](double v, double cap) {
+    return std::isfinite(v) && std::fabs(v) <= cap;
+  };
+  if (!bounded(info.pos.x, kMaxWireAssistCoordM) ||
+      !bounded(info.pos.y, kMaxWireAssistCoordM) ||
+      !bounded(info.velocity.x, kMaxWireAssistSpeedMps) ||
+      !bounded(info.velocity.y, kMaxWireAssistSpeedMps) ||
+      !bounded(info.speed, kMaxWireAssistSpeedMps) ||
+      !bounded(info.route_s, kMaxWireAssistRouteS) ||
+      !std::isfinite(info.bandwidth_bps) || info.bandwidth_bps < 0.0 ||
+      info.bandwidth_bps > kMaxWireAssistBandwidthBps) {
+    throw WireValueError{"read_assist: field out of range"};
   }
   const std::uint32_t n = r.read_u32();
   if (n > 0) {

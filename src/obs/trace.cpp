@@ -21,6 +21,8 @@ std::string_view to_string(EventKind kind) {
     case EventKind::kBackoffExtend: return "backoff_extend";
     case EventKind::kRound: return "round";
     case EventKind::kEval: return "eval";
+    case EventKind::kByzantinePayload: return "byzantine_payload";
+    case EventKind::kStragglerSkip: return "straggler_skip";
   }
   return "?";
 }

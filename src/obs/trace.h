@@ -49,6 +49,8 @@ enum class EventKind : std::uint8_t {
   kBackoffExtend,      ///< pair cooldown extended (a, b, value = consecutive failures)
   kRound,              ///< synchronization round fired (value = participants)
   kEval,               ///< fleet evaluation point (value = mean held-out loss)
+  kByzantinePayload,   ///< Byzantine sender mutated a payload (a = sender, b = receiver, value = stage kind)
+  kStragglerSkip,      ///< straggler skipped a train interval (a = vehicle)
 };
 
 [[nodiscard]] std::string_view to_string(EventKind kind);

@@ -543,4 +543,50 @@ TEST(CheckpointDeterminism, SeedSweepBitIdenticalAcrossThreadsAndResume) {
   }
 }
 
+/// Adversarial cell of the sweep: Byzantine peers plus heterogeneity exercise
+/// the conditional checkpoint tails (adversary noise stream, straggler
+/// credits, cohort curves, adversary counters) through the same
+/// threads-and-resume contract.
+TEST(CheckpointDeterminism, AdversarialCellBitIdenticalAcrossThreadsAndResume) {
+  for (const std::uint64_t seed : {3ull, 21ull}) {
+    auto cfg = tiny_cfg(seed, /*faults=*/true, /*vehicles=*/4);
+    cfg.adversary.byzantine_frac = 0.25;
+    cfg.adversary.poison_noise = 0.05;  // exercises the serialized noise stream
+    cfg.hetero.straggler_frac = 0.5;
+    cfg.hetero.slow_radio_frac = 0.5;
+    cfg.hetero.dataset_skew = 0.4;
+
+    cfg.num_threads = 1;
+    auto base = make_sim(cfg, "LbChat");
+    const auto m_base = base.run();
+
+    cfg.num_threads = 4;
+    auto threaded = make_sim(cfg, "LbChat");
+    const auto m_threaded = threaded.run();
+    EXPECT_EQ(curve_bits(m_base), curve_bits(m_threaded)) << "seed " << seed;
+
+    cfg.num_threads = 1;
+    auto first = make_sim(cfg, "LbChat");
+    first.prepare();
+    first.run_until(13.0);
+    const auto bytes = checkpoint_of(first);
+    auto resumed = make_sim(cfg, "LbChat");
+    ByteReader r{bytes};
+    ASSERT_EQ(resumed.restore(r), CkptStatus::kOk) << "seed " << seed;
+    resumed.run_until(cfg.duration_s);
+    const auto m_resumed = resumed.finalize();
+    EXPECT_EQ(curve_bits(m_base), curve_bits(m_resumed)) << "seed " << seed;
+    EXPECT_EQ(m_base.transfers.byzantine_payloads_sent,
+              m_resumed.transfers.byzantine_payloads_sent);
+    EXPECT_EQ(m_base.transfers.straggler_train_skips,
+              m_resumed.transfers.straggler_train_skips);
+
+    // A checkpoint from an adversarial run must not restore into an engine
+    // configured without the adversary (different config fingerprint).
+    auto plain = make_sim(tiny_cfg(seed, /*faults=*/true, /*vehicles=*/4), "LbChat");
+    ByteReader r2{bytes};
+    EXPECT_EQ(plain.restore(r2), CkptStatus::kConfigMismatch);
+  }
+}
+
 }  // namespace

@@ -5,6 +5,7 @@
 // LBCHAT_SANITIZE=address,undefined to enforce the last part).
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <stdexcept>
 
 #include "common/bytes.h"
@@ -284,6 +285,110 @@ TEST(DeserializerRobustnessTest, AssistRoundtripAndCorruption) {
       return net::read_assist(r, map);
     });
   }
+}
+
+// --- semantic value validation (WireValueError) -------------------------------
+//
+// A CRC envelope only catches transport damage: a hostile sender checksums
+// its own bad values. These pin the decode-time bounds that close that gap.
+
+TEST(WireValueValidationTest, SampleWeightBoundsEnforced) {
+  const coreset::Coreset c = sample_coreset();
+  const auto write_with_weight = [&](double weight) {
+    data::Sample s = c.samples[0];
+    s.weight = weight;
+    ByteWriter w;
+    data::write_sample(w, s);
+    return w.bytes();
+  };
+  // Boundary values pass.
+  for (const double ok : {0.0, 1.0, data::kMaxWireSampleWeight}) {
+    const auto bytes = write_with_weight(ok);
+    ByteReader r{bytes};
+    EXPECT_EQ(data::read_sample(r, c.spec).weight, ok);
+  }
+  // Non-finite and out-of-range weights are rejected as WireValueError —
+  // which is-a runtime_error, so pre-existing catch sites keep working.
+  for (const double bad :
+       {std::numeric_limits<double>::quiet_NaN(), std::numeric_limits<double>::infinity(),
+        -std::numeric_limits<double>::infinity(), -1.0, data::kMaxWireSampleWeight * 2.0}) {
+    const auto bytes = write_with_weight(bad);
+    ByteReader r{bytes};
+    EXPECT_THROW((void)data::read_sample(r, c.spec), WireValueError) << "weight " << bad;
+    ByteReader r2{bytes};
+    EXPECT_THROW((void)data::read_sample(r2, c.spec), std::runtime_error);
+  }
+}
+
+TEST(WireValueValidationTest, CoresetWeightBoundsEnforced) {
+  const auto write_with_wc = [](double wc) {
+    coreset::Coreset c = sample_coreset();
+    c.wc.back() = wc;
+    ByteWriter w;
+    coreset::write_coreset(w, c);
+    return w.bytes();
+  };
+  const coreset::Coreset ref = sample_coreset();
+  for (const double ok : {0.0, coreset::kMaxWireCoresetWeight}) {
+    const auto bytes = write_with_wc(ok);
+    ByteReader r{bytes};
+    EXPECT_EQ(coreset::read_coreset(r, ref.spec).wc.back(), ok);
+  }
+  for (const double bad :
+       {std::numeric_limits<double>::quiet_NaN(), std::numeric_limits<double>::infinity(),
+        -0.5, coreset::kMaxWireCoresetWeight * 2.0}) {
+    const auto bytes = write_with_wc(bad);
+    ByteReader r{bytes};
+    EXPECT_THROW((void)coreset::read_coreset(r, ref.spec), WireValueError) << "wc " << bad;
+  }
+}
+
+TEST(WireValueValidationTest, AssistFieldBoundsEnforced) {
+  Rng rng{5};
+  const auto map = sim::TownMap::generate(sim::TownConfig{}, rng);
+  net::AssistInfo base;
+  base.pos = Vec2{120.0, 340.0};
+  base.velocity = Vec2{3.0, -1.5};
+  base.speed = 3.35;
+  base.route_s = 42.0;
+  base.bandwidth_bps = 31e6;
+
+  const auto bytes_of = [](const net::AssistInfo& info) {
+    ByteWriter w;
+    net::write_assist(w, info);
+    return w.bytes();
+  };
+  {
+    const auto bytes = bytes_of(base);
+    ByteReader r{bytes};
+    EXPECT_NO_THROW((void)net::read_assist(r, map));
+  }
+  const auto expect_rejected = [&](const net::AssistInfo& info, const char* what) {
+    const auto bytes = bytes_of(info);
+    ByteReader r{bytes};
+    EXPECT_THROW((void)net::read_assist(r, map), WireValueError) << what;
+  };
+  net::AssistInfo bad = base;
+  bad.pos.x = std::numeric_limits<double>::quiet_NaN();
+  expect_rejected(bad, "NaN position");
+  bad = base;
+  bad.pos.y = 2.0 * net::kMaxWireAssistCoordM;
+  expect_rejected(bad, "absurd coordinate");
+  bad = base;
+  bad.velocity.x = -2.0 * net::kMaxWireAssistSpeedMps;
+  expect_rejected(bad, "absurd velocity");
+  bad = base;
+  bad.speed = std::numeric_limits<double>::infinity();
+  expect_rejected(bad, "infinite speed");
+  bad = base;
+  bad.route_s = 2.0 * net::kMaxWireAssistRouteS;
+  expect_rejected(bad, "absurd route offset");
+  bad = base;
+  bad.bandwidth_bps = -1.0;
+  expect_rejected(bad, "negative bandwidth");
+  bad = base;
+  bad.bandwidth_bps = 2.0 * net::kMaxWireAssistBandwidthBps;
+  expect_rejected(bad, "absurd bandwidth");
 }
 
 }  // namespace
