@@ -6,6 +6,7 @@
 #include <fstream>
 
 #include "common/bytes.h"
+#include "common/fingerprint.h"
 #include "common/rng.h"
 #include "engine/report.h"
 #include "obs/export.h"
@@ -15,7 +16,10 @@ namespace lbchat::bench {
 
 namespace {
 
-/// Bump to invalidate every cached result after behavioural code changes.
+/// Version of the CachedRun on-disk layout. The cache *key* is salted
+/// separately by kScenarioFingerprintVersion (common/fingerprint.h) — bump
+/// that one to invalidate keys after behavioural changes, this one when the
+/// CachedRun byte layout changes.
 /// v3: CachedRun carries the adversary/heterogeneity counters and the
 /// honest/attacker cohort loss curves.
 constexpr std::uint32_t kCacheVersion = 3;
@@ -71,100 +75,6 @@ void export_run_observability(const engine::ScenarioConfig& cfg, baselines::Appr
        obs::run_report_json(engine::build_run_report(approach_str, cfg, m)));
   std::fprintf(stderr, "[bench] observability exports: %s/%s.{trace.json,events.jsonl,...}\n",
                dir.string().c_str(), stem);
-}
-
-class FingerprintHasher {
- public:
-  void add(double v) { w_.write_f64(v); }
-  void add(std::uint64_t v) { w_.write_u64(v); }
-  void add(int v) { w_.write_i32(v); }
-  void add(bool v) { w_.write_u8(v ? 1 : 0); }
-  void add(const std::string& s) { w_.write_string(s); }
-
-  [[nodiscard]] std::uint64_t digest() const {
-    std::uint64_t h = 0xCBF29CE484222325ULL;
-    for (const std::uint8_t b : w_.bytes()) {
-      h ^= b;
-      h *= 0x100000001B3ULL;
-    }
-    return h;
-  }
-
- private:
-  ByteWriter w_;
-};
-
-void hash_scenario(FingerprintHasher& h, const engine::ScenarioConfig& c) {
-  h.add(kCacheVersion != 0 ? static_cast<std::uint64_t>(kCacheVersion) : 0);
-  h.add(c.seed);
-  h.add(c.num_vehicles);
-  h.add(c.wireless_loss);
-  h.add(c.collect_duration_s);
-  h.add(c.collect_fps);
-  h.add(c.validation_fraction);
-  h.add(c.eval_frames_per_vehicle);
-  h.add(c.duration_s);
-  h.add(c.tick_s);
-  h.add(c.train_interval_s);
-  h.add(c.batch_size);
-  h.add(c.learning_rate);
-  h.add(c.eval_interval_s);
-  h.add(c.time_budget_s);
-  h.add(static_cast<std::uint64_t>(c.coreset_size));
-  h.add(c.pair_cooldown_s);
-  h.add(c.lambda_c);
-  h.add(c.session_timeout_s);
-  h.add(c.coreset_rebuild_interval_s);
-  h.add(c.radio.bandwidth_bps);
-  h.add(c.radio.packet_bytes);
-  h.add(c.radio.max_retransmissions);
-  h.add(c.radio.max_range_m);
-  h.add(static_cast<std::uint64_t>(c.wire.model_bytes));
-  h.add(static_cast<std::uint64_t>(c.wire.coreset_bytes_per_sample));
-  h.add(static_cast<std::uint64_t>(c.wire.assist_info_bytes));
-  h.add(c.world.num_background_cars);
-  h.add(c.world.num_pedestrians);
-  h.add(c.world.car_max_speed);
-  h.add(c.world.urban_dweller_fraction);
-  h.add(c.world.perturb_prob);
-  h.add(c.penalty.lambda1);
-  h.add(c.penalty.lambda2);
-  h.add(c.policy.conv1_channels);
-  h.add(c.policy.conv2_channels);
-  h.add(c.policy.fc_dim);
-  h.add(c.policy.branch_hidden);
-  h.add(c.faults.burst_rate_per_min);
-  h.add(c.faults.burst_duration_s);
-  h.add(c.faults.burst_radius_m);
-  h.add(c.faults.burst_extra_loss);
-  h.add(c.faults.churn_rate_per_min);
-  h.add(c.faults.churn_offline_mean_s);
-  h.add(c.faults.corrupt_prob_near);
-  h.add(c.faults.corrupt_prob_far);
-  h.add(c.faults.chat_backoff);
-  h.add(c.faults.backoff_base);
-  h.add(c.faults.backoff_max_exp);
-  // Conditional tail, mirroring the checkpoint config fingerprint: an
-  // all-off adversary/heterogeneity config hashes exactly like a scenario
-  // that never mentions the robustness layer, so the (bit-inert) layer's
-  // existence cannot split cache keys for the non-adversarial benches.
-  if (c.adversary.enabled() || c.hetero.enabled()) {
-    h.add(std::string{"adversary-v1"});
-    h.add(c.adversary.byzantine_frac);
-    h.add(c.adversary.poison_models);
-    h.add(c.adversary.poison_scale);
-    h.add(c.adversary.poison_noise);
-    h.add(c.adversary.inflate_coreset_weights);
-    h.add(c.adversary.coreset_inflation);
-    h.add(c.adversary.lie_assist);
-    h.add(c.adversary.assist_bandwidth_lie);
-    h.add(c.hetero.straggler_frac);
-    h.add(c.hetero.straggler_rate);
-    h.add(c.hetero.slow_radio_frac);
-    h.add(c.hetero.slow_radio_scale);
-    h.add(c.hetero.dataset_skew);
-    h.add(c.hetero.dataset_keep_min);
-  }
 }
 
 void write_run(const std::filesystem::path& path, const CachedRun& run) {
@@ -269,21 +179,11 @@ eval::EvalConfig default_eval_config() {
 
 std::uint64_t run_fingerprint(const engine::ScenarioConfig& cfg,
                               baselines::Approach approach) {
-  FingerprintHasher h;
-  h.add(std::string{baselines::approach_name(approach)});
-  // Protocol revision salt for the LbChat-family strategies (phi sampling +
-  // aggregation guard changes invalidate only their cached runs).
-  switch (approach) {
-    case baselines::Approach::kLbChat:
-    case baselines::Approach::kLbChatEqualComp:
-    case baselines::Approach::kLbChatAvgAgg:
-      h.add(std::string{"lbchat-proto-v3"});
-      break;
-    default:
-      break;
-  }
-  hash_scenario(h, cfg);
-  return h.digest();
+  // The shared implementation (common/fingerprint.h) is byte-for-byte the
+  // hash this harness historically computed, so pre-existing .bench_cache
+  // entries keep their keys; the svc ResultCache derives its keys from the
+  // same function.
+  return scenario_fingerprint(cfg, baselines::approach_name(approach));
 }
 
 CachedRun run_or_load(const engine::ScenarioConfig& cfg, baselines::Approach approach) {
@@ -320,11 +220,11 @@ std::array<double, 5> success_rates_or_load(const engine::ScenarioConfig& cfg,
                                             baselines::Approach approach,
                                             const CachedRun& run, int models_to_eval) {
   const eval::EvalConfig ec = default_eval_config();
-  FingerprintHasher h;
+  FnvHasher h;
   h.add(run_fingerprint(cfg, approach));
   h.add(ec.trials);
   h.add(models_to_eval);
-  h.add(std::string{"success-v1"});
+  h.add(std::string_view{"success-v1"});
   char name[64];
   std::snprintf(name, sizeof name, "eval_%016llx.bin",
                 static_cast<unsigned long long>(h.digest()));

@@ -1,0 +1,74 @@
+// FNV-1a fingerprinting shared by every result cache in the repo.
+//
+// The bench harness caches training runs on disk keyed by a fingerprint of
+// the full scenario configuration + approach name; the fleet-evaluation
+// service (src/svc) keys its ResultCache the same way so a job submitted
+// twice runs once. Both caches MUST derive their keys from the one
+// implementation here — tests/fingerprint_test.cpp pins known digests so the
+// key derivation cannot silently drift and stale cache entries cannot be
+// served for changed configurations.
+//
+// Scheme: typed fields are serialized through a ByteWriter (the same
+// little-endian layout as the wire formats) and the byte stream is hashed
+// with 64-bit FNV-1a. Deliberately NOT hashed: num_threads and the
+// spatial-index knob (bit-identical results for any value — pure wall-clock
+// knobs). duration_s IS hashed: a cache entry answers one exact horizon.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+#include "common/bytes.h"
+
+namespace lbchat::engine {
+struct ScenarioConfig;
+}  // namespace lbchat::engine
+
+namespace lbchat {
+
+inline constexpr std::uint64_t kFnvOffsetBasis = 0xCBF29CE484222325ull;
+inline constexpr std::uint64_t kFnvPrime = 0x100000001B3ull;
+
+/// Plain 64-bit FNV-1a over a byte span, chainable via `h`.
+[[nodiscard]] constexpr std::uint64_t fnv1a(std::span<const std::uint8_t> bytes,
+                                            std::uint64_t h = kFnvOffsetBasis) {
+  for (const std::uint8_t b : bytes) {
+    h ^= b;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+/// Typed FNV-1a accumulator: fields are serialized little-endian through a
+/// ByteWriter, then digested. The add() overload set (and its byte layout)
+/// is frozen by the pinned digests in tests/fingerprint_test.cpp — widening
+/// it is fine, changing existing overloads is a cache-key break.
+class FnvHasher {
+ public:
+  void add(double v) { w_.write_f64(v); }
+  void add(std::uint64_t v) { w_.write_u64(v); }
+  void add(int v) { w_.write_i32(v); }
+  void add(bool v) { w_.write_u8(v ? 1 : 0); }
+  void add(std::string_view s) { w_.write_string(s); }
+
+  [[nodiscard]] std::uint64_t digest() const { return fnv1a(w_.bytes()); }
+
+ private:
+  ByteWriter w_;
+};
+
+/// Version salt mixed into every scenario fingerprint. Bump to invalidate
+/// all cached results (bench .bench_cache entries and svc ResultCache
+/// entries alike) after behavioural code changes.
+inline constexpr std::uint32_t kScenarioFingerprintVersion = 3;
+
+/// Deterministic fingerprint of a scenario (every behaviour-shaping field,
+/// including duration_s) + the approach name, exactly as the bench cache has
+/// always computed it. An all-off adversary/heterogeneity config hashes like
+/// a scenario that never mentions the robustness layer, so the bit-inert
+/// layer's existence cannot split cache keys for non-adversarial runs.
+[[nodiscard]] std::uint64_t scenario_fingerprint(const engine::ScenarioConfig& cfg,
+                                                 std::string_view approach);
+
+}  // namespace lbchat

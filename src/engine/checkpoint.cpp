@@ -4,6 +4,7 @@
 #include "engine/checkpoint.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <stdexcept>
 #include <utility>
 
@@ -12,6 +13,7 @@
 #include "coreset/coreset_io.h"
 #include "data/sample_io.h"
 #include "engine/fleet.h"
+#include "obs/export.h"
 #include "obs/obs.h"
 #include "obs/registry.h"
 #include "obs/trace.h"
@@ -206,6 +208,46 @@ std::uint64_t config_fingerprint(const ScenarioConfig& cfg) {
   std::uint64_t h = 0xCBF29CE484222325ull;
   fnv_mix(h, w.bytes());
   return h;
+}
+
+std::string ckpt_info_json(const CkptInfo& info) {
+  // Strategy names are short ASCII identifiers, but a hostile checkpoint can
+  // put anything in that field — escape it like a JSON string must be.
+  std::string strat;
+  for (const char c : info.strategy) {
+    switch (c) {
+      case '"': strat += "\\\""; break;
+      case '\\': strat += "\\\\"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          strat += buf;
+        } else {
+          strat += c;
+        }
+    }
+  }
+  char head[256];
+  std::snprintf(head, sizeof head,
+                "{\"version\":%u,\"fingerprint\":\"%016llx\",\"seed\":%llu,"
+                "\"vehicles\":%u,\"strategy\":\"%s\",\"time_s\":",
+                info.version, static_cast<unsigned long long>(info.config_fingerprint),
+                static_cast<unsigned long long>(info.seed), info.num_vehicles,
+                strat.c_str());
+  std::string out{head};
+  out += obs::format_double(info.time_s);
+  out += ",\"sections\":[";
+  for (std::size_t i = 0; i < info.sections.size(); ++i) {
+    const auto& s = info.sections[i];
+    char sec[96];
+    std::snprintf(sec, sizeof sec, "%s{\"tag\":%u,\"name\":\"%s\",\"bytes\":%llu}",
+                  i == 0 ? "" : ",", s.tag, std::string{section_name(s.tag)}.c_str(),
+                  static_cast<unsigned long long>(s.bytes));
+    out += sec;
+  }
+  out += "]}";
+  return out;
 }
 
 CkptStatus inspect_checkpoint(std::span<const std::uint8_t> bytes, CkptInfo& info) {

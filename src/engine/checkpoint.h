@@ -89,4 +89,10 @@ struct CkptInfo {
 /// and every section is well-framed with no trailing bytes.
 [[nodiscard]] CkptStatus inspect_checkpoint(std::span<const std::uint8_t> bytes, CkptInfo& info);
 
+/// JSON rendering of a CkptInfo — one object with version, fingerprint (hex),
+/// seed, vehicles, strategy, time_s, and a sections array of
+/// {tag,name,bytes}. Shared by `ckpt_check --json` and the fleet service's
+/// status endpoint (which embeds it for preempted jobs).
+[[nodiscard]] std::string ckpt_info_json(const CkptInfo& info);
+
 }  // namespace lbchat::engine

@@ -1,0 +1,52 @@
+// Job specs for the fleet service: a JSON object naming an approach and a
+// scenario configuration, mirroring the lbchat_sim_cli flag surface.
+//
+//   {"approach":"LbChat","vehicles":8,"duration":900,"seed":3,
+//    "priority":1,"events":true,
+//    "faults":{"burst_rate_per_min":0.5,"chat_backoff":true}}
+//
+// Unknown keys are a hard parse error (a typo'd knob must not silently run
+// the default scenario). parse_job_spec keeps the original spec text so a
+// persisted job round-trips byte-identically through the state directory.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "baselines/factory.h"
+#include "engine/scenario.h"
+
+namespace lbchat::svc {
+
+struct JobSpec {
+  engine::ScenarioConfig cfg{};
+  baselines::Approach approach = baselines::Approach::kLbChat;
+  std::string approach_name{"LbChat"};
+  /// Optional human label echoed in status/manifest output.
+  std::string name;
+  /// Higher runs earlier; ties broken by submission order.
+  int priority = 0;
+  /// Collect sim-time events and include events.jsonl in the payload.
+  /// Serialized by the obs lease (svc/server.cpp), so it costs concurrency.
+  bool events = false;
+  /// Test hook: self-preempt (checkpoint + requeue) once when sim time
+  /// reaches this value. <= 0 disables. Excluded from the job fingerprint —
+  /// by the determinism contract it cannot change the result bytes.
+  double preempt_at = 0.0;
+  /// The spec text as submitted (whitespace and all), for persistence.
+  std::string source;
+};
+
+/// Parse a job-spec JSON object. Returns false and fills `error` on malformed
+/// JSON, unknown keys, wrong types, or out-of-range values; `out` is
+/// unspecified then. Never throws.
+[[nodiscard]] bool parse_job_spec(std::string_view text, JobSpec& out, std::string& error);
+
+/// Cache identity of a job: the shared scenario fingerprint
+/// (common/fingerprint.h — what the bench cache keys on) extended with the
+/// payload-shaping knobs (events). Jobs with equal fingerprints produce
+/// byte-identical payloads, so the result cache may serve one for the other.
+[[nodiscard]] std::uint64_t job_fingerprint(const JobSpec& spec);
+
+}  // namespace lbchat::svc

@@ -1,0 +1,380 @@
+#include "svc/json.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace lbchat::svc {
+namespace {
+
+constexpr int kMaxDepth = 64;
+
+void append_utf8(std::string& out, unsigned cp) {
+  if (cp < 0x80) {
+    out.push_back(static_cast<char>(cp));
+  } else if (cp < 0x800) {
+    out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+    out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  } else if (cp < 0x10000) {
+    out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+    out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+    out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  } else {
+    out.push_back(static_cast<char>(0xF0 | (cp >> 18)));
+    out.push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+    out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+    out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  }
+}
+
+}  // namespace
+
+class Parser {
+ public:
+  Parser(std::string_view text, std::string& error) : text_(text), error_(error) {}
+
+  std::unique_ptr<JsonValue> run() {
+    auto v = parse_value(0);
+    if (v == nullptr) return nullptr;
+    skip_space();
+    if (pos_ != text_.size()) {
+      fail("trailing bytes after value");
+      return nullptr;
+    }
+    return v;
+  }
+
+ private:
+  void fail(const char* what) {
+    if (error_.empty()) {
+      char buf[96];
+      std::snprintf(buf, sizeof buf, "%s at offset %zu", what, pos_);
+      error_ = buf;
+    }
+  }
+
+  void skip_space() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  [[nodiscard]] bool eat(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool eat_word(const char* w) {
+    const std::size_t n = std::strlen(w);
+    if (text_.substr(pos_, n) == w) {
+      pos_ += n;
+      return true;
+    }
+    return false;
+  }
+
+  std::unique_ptr<JsonValue> parse_value(int depth) {
+    if (depth > kMaxDepth) {
+      fail("nesting too deep");
+      return nullptr;
+    }
+    skip_space();
+    if (pos_ >= text_.size()) {
+      fail("unexpected end of input");
+      return nullptr;
+    }
+    const char c = text_[pos_];
+    switch (c) {
+      case '{':
+        return parse_object(depth);
+      case '[':
+        return parse_array(depth);
+      case '"':
+        return parse_string_value();
+      case 't':
+      case 'f':
+        return parse_bool();
+      case 'n':
+        if (eat_word("null")) return std::make_unique<JsonValue>();
+        fail("invalid literal");
+        return nullptr;
+      default:
+        if (c == '-' || (c >= '0' && c <= '9')) return parse_number();
+        fail("unexpected character");
+        return nullptr;
+    }
+  }
+
+  std::unique_ptr<JsonValue> parse_bool() {
+    auto v = std::make_unique<JsonValue>();
+    v->type_ = JsonValue::Type::kBool;
+    if (eat_word("true")) {
+      v->bool_ = true;
+      return v;
+    }
+    if (eat_word("false")) {
+      v->bool_ = false;
+      return v;
+    }
+    fail("invalid literal");
+    return nullptr;
+  }
+
+  std::unique_ptr<JsonValue> parse_number() {
+    // Validate the JSON number grammar first, then hand the span to strtod
+    // (which accepts a superset — hex, inf — that JSON forbids).
+    const std::size_t start = pos_;
+    if (eat('-')) {
+    }
+    if (eat('0')) {
+    } else {
+      if (pos_ >= text_.size() || text_[pos_] < '1' || text_[pos_] > '9') {
+        fail("malformed number");
+        return nullptr;
+      }
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') ++pos_;
+    }
+    if (eat('.')) {
+      if (pos_ >= text_.size() || text_[pos_] < '0' || text_[pos_] > '9') {
+        fail("malformed number");
+        return nullptr;
+      }
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') ++pos_;
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) ++pos_;
+      if (pos_ >= text_.size() || text_[pos_] < '0' || text_[pos_] > '9') {
+        fail("malformed number");
+        return nullptr;
+      }
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') ++pos_;
+    }
+    const std::string token{text_.substr(start, pos_ - start)};
+    auto v = std::make_unique<JsonValue>();
+    v->type_ = JsonValue::Type::kNumber;
+    v->number_ = std::strtod(token.c_str(), nullptr);
+    return v;
+  }
+
+  bool parse_string_body(std::string& out) {
+    if (!eat('"')) {
+      fail("expected string");
+      return false;
+    }
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        --pos_;
+        fail("unescaped control character in string");
+        return false;
+      }
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"':
+          out.push_back('"');
+          break;
+        case '\\':
+          out.push_back('\\');
+          break;
+        case '/':
+          out.push_back('/');
+          break;
+        case 'b':
+          out.push_back('\b');
+          break;
+        case 'f':
+          out.push_back('\f');
+          break;
+        case 'n':
+          out.push_back('\n');
+          break;
+        case 'r':
+          out.push_back('\r');
+          break;
+        case 't':
+          out.push_back('\t');
+          break;
+        case 'u': {
+          unsigned cp = 0;
+          if (!parse_hex4(cp)) return false;
+          if (cp >= 0xD800 && cp <= 0xDBFF) {
+            // High surrogate: require the low half.
+            unsigned lo = 0;
+            if (pos_ + 1 >= text_.size() || text_[pos_] != '\\' || text_[pos_ + 1] != 'u') {
+              fail("unpaired surrogate");
+              return false;
+            }
+            pos_ += 2;
+            if (!parse_hex4(lo)) return false;
+            if (lo < 0xDC00 || lo > 0xDFFF) {
+              fail("unpaired surrogate");
+              return false;
+            }
+            cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+          } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+            fail("unpaired surrogate");
+            return false;
+          }
+          append_utf8(out, cp);
+          break;
+        }
+        default:
+          --pos_;
+          fail("invalid escape");
+          return false;
+      }
+    }
+    fail("unterminated string");
+    return false;
+  }
+
+  bool parse_hex4(unsigned& out) {
+    if (pos_ + 4 > text_.size()) {
+      fail("truncated \\u escape");
+      return false;
+    }
+    unsigned v = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_ + i];
+      unsigned d;
+      if (c >= '0' && c <= '9') {
+        d = c - '0';
+      } else if (c >= 'a' && c <= 'f') {
+        d = 10 + (c - 'a');
+      } else if (c >= 'A' && c <= 'F') {
+        d = 10 + (c - 'A');
+      } else {
+        fail("invalid \\u escape");
+        return false;
+      }
+      v = (v << 4) | d;
+    }
+    pos_ += 4;
+    out = v;
+    return true;
+  }
+
+  std::unique_ptr<JsonValue> parse_string_value() {
+    auto v = std::make_unique<JsonValue>();
+    v->type_ = JsonValue::Type::kString;
+    if (!parse_string_body(v->string_)) return nullptr;
+    return v;
+  }
+
+  std::unique_ptr<JsonValue> parse_object(int depth) {
+    ++pos_;  // '{'
+    auto v = std::make_unique<JsonValue>();
+    v->type_ = JsonValue::Type::kObject;
+    skip_space();
+    if (eat('}')) return v;
+    for (;;) {
+      skip_space();
+      std::string key;
+      if (!parse_string_body(key)) return nullptr;
+      for (const auto& [k, _] : v->members_) {
+        if (k == key) {
+          fail("duplicate object key");
+          return nullptr;
+        }
+      }
+      skip_space();
+      if (!eat(':')) {
+        fail("expected ':'");
+        return nullptr;
+      }
+      auto member = parse_value(depth + 1);
+      if (member == nullptr) return nullptr;
+      v->members_.emplace_back(std::move(key), std::move(member));
+      skip_space();
+      if (eat(',')) continue;
+      if (eat('}')) return v;
+      fail("expected ',' or '}'");
+      return nullptr;
+    }
+  }
+
+  std::unique_ptr<JsonValue> parse_array(int depth) {
+    ++pos_;  // '['
+    auto v = std::make_unique<JsonValue>();
+    v->type_ = JsonValue::Type::kArray;
+    skip_space();
+    if (eat(']')) return v;
+    for (;;) {
+      auto item = parse_value(depth + 1);
+      if (item == nullptr) return nullptr;
+      v->items_.push_back(std::move(item));
+      skip_space();
+      if (eat(',')) continue;
+      if (eat(']')) return v;
+      fail("expected ',' or ']'");
+      return nullptr;
+    }
+  }
+
+  std::string_view text_;
+  std::string& error_;
+  std::size_t pos_ = 0;
+};
+
+const JsonValue* JsonValue::get(std::string_view key) const {
+  if (type_ != Type::kObject) return nullptr;
+  for (const auto& [k, v] : members_) {
+    if (k == key) return v.get();
+  }
+  return nullptr;
+}
+
+std::unique_ptr<JsonValue> json_parse(std::string_view text, std::string& error) {
+  error.clear();
+  Parser p{text, error};
+  auto v = p.run();
+  if (v == nullptr && error.empty()) error = "parse error";
+  return v;
+}
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", static_cast<unsigned char>(c));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace lbchat::svc

@@ -1,0 +1,66 @@
+// Minimal JSON for the fleet service's wire protocol and job specs.
+//
+// A strict recursive-descent parser producing an immutable DOM (JsonValue),
+// plus the escaping helper the response builders share. Scope is deliberately
+// small — the service only ever parses objects a client hand-writes or that
+// this process emitted — but within that scope it is a real parser: full
+// string escapes (\uXXXX incl. surrogate pairs), numbers via strtod, depth
+// limiting, and a trailing-garbage check. No dependencies beyond the stdlib.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lbchat::svc {
+
+class JsonValue;
+
+/// Parse `text` as a single JSON value. Returns nullptr and fills `error`
+/// (with a byte offset) on any syntax problem, including trailing non-space
+/// bytes. Never throws.
+[[nodiscard]] std::unique_ptr<JsonValue> json_parse(std::string_view text, std::string& error);
+
+/// `s` escaped for embedding inside a JSON string literal (quotes not
+/// included): ", \, and control characters become escape sequences.
+[[nodiscard]] std::string json_escape(std::string_view s);
+
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kObject, kArray };
+
+  [[nodiscard]] Type type() const { return type_; }
+  [[nodiscard]] bool is_null() const { return type_ == Type::kNull; }
+  [[nodiscard]] bool is_bool() const { return type_ == Type::kBool; }
+  [[nodiscard]] bool is_number() const { return type_ == Type::kNumber; }
+  [[nodiscard]] bool is_string() const { return type_ == Type::kString; }
+  [[nodiscard]] bool is_object() const { return type_ == Type::kObject; }
+  [[nodiscard]] bool is_array() const { return type_ == Type::kArray; }
+
+  [[nodiscard]] bool as_bool() const { return bool_; }
+  [[nodiscard]] double as_number() const { return number_; }
+  [[nodiscard]] const std::string& as_string() const { return string_; }
+  [[nodiscard]] const std::vector<std::unique_ptr<JsonValue>>& items() const { return items_; }
+  /// Object members in source order (duplicate keys rejected at parse time).
+  [[nodiscard]] const std::vector<std::pair<std::string, std::unique_ptr<JsonValue>>>& members()
+      const {
+    return members_;
+  }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  [[nodiscard]] const JsonValue* get(std::string_view key) const;
+
+ private:
+  friend class Parser;
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<std::unique_ptr<JsonValue>> items_;
+  std::vector<std::pair<std::string, std::unique_ptr<JsonValue>>> members_;
+};
+
+}  // namespace lbchat::svc

@@ -1,0 +1,214 @@
+#include "svc/protocol.h"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+
+#include "obs/export.h"
+#include "svc/json.h"
+
+namespace lbchat::svc {
+namespace {
+
+ProtocolReply error_reply(const std::string& what) {
+  return {"{\"ok\":false,\"error\":\"" + json_escape(what) + "\"}", false};
+}
+
+bool get_id(const JsonValue& root, std::uint64_t& id, ProtocolReply& err) {
+  const JsonValue* v = root.get("id");
+  if (v == nullptr || !v->is_number() || v->as_number() < 1.0 ||
+      v->as_number() != std::floor(v->as_number())) {
+    err = error_reply("\"id\" must be a positive integer");
+    return false;
+  }
+  id = static_cast<std::uint64_t>(v->as_number());
+  return true;
+}
+
+std::string stats_json(const ServiceStats& s) {
+  char buf[512];
+  std::snprintf(buf, sizeof buf,
+                "{\"submitted\":%llu,\"completed\":%llu,\"cache_hits\":%llu,"
+                "\"preemptions\":%llu,\"migrations\":%llu,\"failed\":%llu,"
+                "\"cancelled\":%llu,\"recovered\":%llu,\"queued\":%zu,"
+                "\"running\":%zu,\"queue_capacity\":%zu,\"workers\":%d,"
+                "\"draining\":%s}",
+                static_cast<unsigned long long>(s.submitted),
+                static_cast<unsigned long long>(s.completed),
+                static_cast<unsigned long long>(s.cache_hits),
+                static_cast<unsigned long long>(s.preemptions),
+                static_cast<unsigned long long>(s.migrations),
+                static_cast<unsigned long long>(s.failed),
+                static_cast<unsigned long long>(s.cancelled),
+                static_cast<unsigned long long>(s.recovered), s.queued, s.running,
+                s.queue_capacity, s.workers, s.draining ? "true" : "false");
+  return buf;
+}
+
+}  // namespace
+
+std::string job_status_json(const JobStatus& s) {
+  char buf[160];
+  std::string out = "{";
+  std::snprintf(buf, sizeof buf, "\"id\":%llu,", static_cast<unsigned long long>(s.id));
+  out += buf;
+  out += "\"state\":\"" + std::string{to_string(s.state)} + "\",";
+  out += "\"name\":\"" + json_escape(s.name) + "\",";
+  out += "\"approach\":\"" + json_escape(s.approach) + "\",";
+  std::snprintf(buf, sizeof buf, "\"priority\":%d,\"fingerprint\":\"%016" PRIx64 "\",",
+                s.priority, s.fingerprint);
+  out += buf;
+  out += "\"progress_s\":" + obs::format_double(s.progress_s) + ",";
+  out += "\"horizon_s\":" + obs::format_double(s.horizon_s) + ",";
+  out += s.events ? "\"events\":true," : "\"events\":false,";
+  out += s.cached ? "\"cached\":true," : "\"cached\":false,";
+  out += s.held ? "\"held\":true," : "\"held\":false,";
+  std::snprintf(buf, sizeof buf, "\"preemptions\":%d,\"migrations\":%d", s.preemptions,
+                s.migrations);
+  out += buf;
+  if (!s.error.empty()) out += ",\"error\":\"" + json_escape(s.error) + "\"";
+  if (!s.output_dir.empty()) {
+    out += ",\"output_dir\":\"" + json_escape(s.output_dir) + "\"";
+  }
+  // Embedded checkpoint inspection (engine::ckpt_info_json) for preempted
+  // jobs — the same object `ckpt_check --json` prints.
+  if (!s.checkpoint_json.empty()) out += ",\"checkpoint\":" + s.checkpoint_json;
+  out += "}";
+  return out;
+}
+
+ProtocolReply handle_request(FleetService& service, std::string_view line) {
+  std::string parse_error;
+  const auto root = json_parse(line, parse_error);
+  if (root == nullptr) return error_reply("invalid JSON: " + parse_error);
+  if (!root->is_object()) return error_reply("request must be a JSON object");
+  const JsonValue* cmd = root->get("cmd");
+  if (cmd == nullptr || !cmd->is_string()) return error_reply("missing \"cmd\"");
+  const std::string& c = cmd->as_string();
+
+  if (c == "submit") {
+    const JsonValue* spec = root->get("spec");
+    if (spec == nullptr) return error_reply("missing \"spec\"");
+    // The service wants the spec's *source text* (it persists the exact
+    // submitted bytes), so slice the spec object's span out of the request
+    // line by brace matching from the '{' after the "spec" key — the DOM
+    // parse above already guaranteed the line is valid JSON.
+    const std::size_t key = line.find("\"spec\"");
+    std::size_t open = key == std::string_view::npos ? std::string_view::npos
+                                                     : line.find('{', key + 6);
+    if (open == std::string_view::npos) return error_reply("\"spec\" must be an object");
+    int depth = 0;
+    bool in_string = false;
+    bool escaped = false;
+    std::size_t end = std::string_view::npos;
+    for (std::size_t i = open; i < line.size(); ++i) {
+      const char ch = line[i];
+      if (in_string) {
+        if (escaped) {
+          escaped = false;
+        } else if (ch == '\\') {
+          escaped = true;
+        } else if (ch == '"') {
+          in_string = false;
+        }
+        continue;
+      }
+      if (ch == '"') {
+        in_string = true;
+      } else if (ch == '{') {
+        ++depth;
+      } else if (ch == '}') {
+        if (--depth == 0) {
+          end = i + 1;
+          break;
+        }
+      }
+    }
+    if (end == std::string_view::npos) return error_reply("\"spec\" must be an object");
+    std::string error;
+    const std::uint64_t id = service.submit(line.substr(open, end - open), error);
+    if (id == 0) return error_reply(error);
+    const auto st = service.status(id);
+    char buf[128];
+    std::snprintf(buf, sizeof buf, "{\"ok\":true,\"id\":%llu,\"cached\":%s,\"fingerprint\":\"%016" PRIx64 "\"}",
+                  static_cast<unsigned long long>(id),
+                  st && st->cached ? "true" : "false", st ? st->fingerprint : 0);
+    return {buf, false};
+  }
+  if (c == "status" || c == "wait") {
+    std::uint64_t id = 0;
+    ProtocolReply err;
+    if (!get_id(*root, id, err)) return err;
+    std::optional<JobStatus> st;
+    if (c == "wait") {
+      JobStatus s;
+      if (service.wait(id, s)) st = s;
+    } else {
+      st = service.status(id);
+    }
+    if (!st) return error_reply("unknown job");
+    return {"{\"ok\":true,\"job\":" + job_status_json(*st) + "}", false};
+  }
+  if (c == "jobs") {
+    std::string out = "{\"ok\":true,\"jobs\":[";
+    bool first = true;
+    for (const auto& s : service.jobs()) {
+      if (!first) out += ',';
+      first = false;
+      out += job_status_json(s);
+    }
+    out += "]}";
+    return {out, false};
+  }
+  if (c == "result") {
+    std::uint64_t id = 0;
+    ProtocolReply err;
+    if (!get_id(*root, id, err)) return err;
+    JobPayload payload;
+    std::string error;
+    if (!service.result(id, payload, error)) return error_reply(error);
+    const auto st = service.status(id);
+    std::string out = "{\"ok\":true";
+    if (st && !st->output_dir.empty()) {
+      out += ",\"output_dir\":\"" + json_escape(st->output_dir) + "\"";
+    }
+    out += ",\"cached\":" + std::string{st && st->cached ? "true" : "false"};
+    out += ",\"manifest\":" + payload.manifest_json;  // verbatim: already JSON
+    out += "}";
+    return {out, false};
+  }
+  if (c == "cancel" || c == "release") {
+    std::uint64_t id = 0;
+    ProtocolReply err;
+    if (!get_id(*root, id, err)) return err;
+    const bool ok = c == "cancel" ? service.cancel(id) : service.release(id);
+    if (!ok) return error_reply("job not in a " + c + "able state");
+    return {"{\"ok\":true}", false};
+  }
+  if (c == "preempt") {
+    std::uint64_t id = 0;
+    ProtocolReply err;
+    if (!get_id(*root, id, err)) return err;
+    const JsonValue* hold = root->get("hold");
+    if (hold != nullptr && !hold->is_bool()) return error_reply("\"hold\" must be a boolean");
+    if (!service.preempt(id, hold != nullptr && hold->as_bool())) {
+      return error_reply("job not in a preemptable state");
+    }
+    return {"{\"ok\":true}", false};
+  }
+  if (c == "stats") {
+    return {"{\"ok\":true,\"stats\":" + stats_json(service.stats()) + "}", false};
+  }
+  if (c == "drain") {
+    const std::size_t n = service.drain();
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "{\"ok\":true,\"persisted\":%zu}", n);
+    return {buf, false};
+  }
+  if (c == "shutdown") {
+    return {"{\"ok\":true}", true};
+  }
+  return error_reply("unknown command \"" + c + "\"");
+}
+
+}  // namespace lbchat::svc

@@ -1,0 +1,40 @@
+// Line-delimited JSON wire protocol for the fleet service daemon.
+//
+// One request object per line, one response object per line (DESIGN.md §13
+// has the grammar). Commands:
+//
+//   {"cmd":"submit","spec":{...}}           -> {"ok":true,"id":N,"cached":B,...}
+//   {"cmd":"status","id":N}                 -> {"ok":true,"job":{...}}
+//   {"cmd":"jobs"}                          -> {"ok":true,"jobs":[...]}
+//   {"cmd":"result","id":N}                 -> {"ok":true,"output_dir":"...",...}
+//   {"cmd":"wait","id":N}                   -> {"ok":true,"job":{...}} (blocks)
+//   {"cmd":"cancel","id":N}                 -> {"ok":true}
+//   {"cmd":"preempt","id":N,"hold":B}       -> {"ok":true}
+//   {"cmd":"release","id":N}                -> {"ok":true}
+//   {"cmd":"stats"}                         -> {"ok":true,"stats":{...}}
+//   {"cmd":"drain"}                         -> {"ok":true,"persisted":N}
+//   {"cmd":"shutdown"}                      -> {"ok":true} and the daemon exits
+//
+// Every error is {"ok":false,"error":"..."} — the connection survives.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "svc/server.h"
+
+namespace lbchat::svc {
+
+struct ProtocolReply {
+  std::string line;       ///< response JSON, no trailing newline
+  bool shutdown = false;  ///< the request asked the daemon to exit
+};
+
+/// Handle one request line against `service`. Never throws; malformed input
+/// yields an ok:false reply.
+[[nodiscard]] ProtocolReply handle_request(FleetService& service, std::string_view line);
+
+/// JSON rendering of a JobStatus (one object, shared by status/jobs/wait).
+[[nodiscard]] std::string job_status_json(const JobStatus& s);
+
+}  // namespace lbchat::svc

@@ -1,0 +1,70 @@
+// Priority job queue for the fleet service's worker pool.
+//
+// Ordering: highest priority first, FIFO within a priority (ties broken by a
+// monotonically increasing sequence number assigned at push). The queue is
+// bounded — push() refuses past `capacity` so a flooded daemon reports
+// backpressure ("queue_full") instead of growing without bound — except for
+// re-entries of preempted jobs (`force`), which must never be droppable: a
+// job the service already accepted cannot be lost to its own preemption.
+//
+// Externally synchronized: the service holds its mutex around every call
+// (the queue is always touched together with the job table).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <set>
+#include <tuple>
+
+namespace lbchat::svc {
+
+class JobQueue {
+ public:
+  explicit JobQueue(std::size_t capacity) : capacity_(capacity) {}
+
+  /// Enqueue job `id`. Returns false when the queue is full (never when
+  /// `force` — preempted re-entries bypass the bound).
+  bool push(std::uint64_t id, int priority, bool force = false) {
+    if (!force && entries_.size() >= capacity_) return false;
+    entries_.emplace(-static_cast<std::int64_t>(priority), seq_++, id);
+    return true;
+  }
+
+  /// Pop the front job id, or nullopt when empty.
+  std::optional<std::uint64_t> pop() {
+    if (entries_.empty()) return std::nullopt;
+    const auto it = entries_.begin();
+    const std::uint64_t id = std::get<2>(*it);
+    entries_.erase(it);
+    return id;
+  }
+
+  /// Remove job `id` wherever it sits; false when not queued.
+  bool remove(std::uint64_t id) {
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      if (std::get<2>(*it) == id) {
+        entries_.erase(it);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// Priority of the front entry (the next pop), or nullopt when empty.
+  [[nodiscard]] std::optional<int> front_priority() const {
+    if (entries_.empty()) return std::nullopt;
+    return static_cast<int>(-std::get<0>(*entries_.begin()));
+  }
+
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] bool empty() const { return entries_.empty(); }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+ private:
+  // (-priority, sequence, id): set order == service order.
+  std::set<std::tuple<std::int64_t, std::uint64_t, std::uint64_t>> entries_;
+  std::size_t capacity_;
+  std::uint64_t seq_ = 0;
+};
+
+}  // namespace lbchat::svc

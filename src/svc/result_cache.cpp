@@ -1,0 +1,57 @@
+#include "svc/result_cache.h"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cinttypes>
+#include <cstdio>
+
+namespace lbchat::svc {
+namespace {
+
+std::string fingerprint_hex(std::uint64_t fp) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%016" PRIx64, fp);
+  return buf;
+}
+
+}  // namespace
+
+std::filesystem::path ResultCache::entry_dir(std::uint64_t fingerprint) const {
+  return root_ / fingerprint_hex(fingerprint);
+}
+
+bool ResultCache::lookup(std::uint64_t fingerprint, JobPayload& out) const {
+  const std::filesystem::path dir = entry_dir(fingerprint);
+  std::error_code ec;
+  if (!std::filesystem::exists(dir / "manifest.json", ec) || ec) return false;
+  return read_payload(dir, out);
+}
+
+bool ResultCache::publish(std::uint64_t fingerprint, const JobPayload& payload) {
+  const std::filesystem::path dir = entry_dir(fingerprint);
+  std::error_code ec;
+  if (std::filesystem::exists(dir / "manifest.json", ec) && !ec) return true;
+
+  // Stage under a name only this call writes, then rename into place. rename
+  // fails (EEXIST / ENOTEMPTY) if a concurrent publish won — that is a
+  // success for us, since entries for one fingerprint are byte-identical.
+  static std::atomic<std::uint64_t> stage_seq{0};
+  const std::filesystem::path staging =
+      root_ / (fingerprint_hex(fingerprint) + ".staging." +
+               std::to_string(static_cast<unsigned long>(::getpid())) + "." +
+               std::to_string(stage_seq.fetch_add(1)));
+  if (!write_payload(staging, payload)) {
+    std::filesystem::remove_all(staging, ec);
+    return false;
+  }
+  std::filesystem::rename(staging, dir, ec);
+  if (ec) {
+    std::filesystem::remove_all(staging, ec);
+    std::error_code probe;
+    return std::filesystem::exists(dir / "manifest.json", probe) && !probe;
+  }
+  return true;
+}
+
+}  // namespace lbchat::svc

@@ -1,0 +1,103 @@
+// Pins the shared fingerprint implementation (common/fingerprint.h) that
+// both the bench result cache and the fleet service's ResultCache key on.
+// The digests below are frozen: a change means every cached result on disk
+// is silently mis-keyed, so treat a failure here as a cache-format break and
+// bump kScenarioFingerprintVersion rather than updating the constants.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string_view>
+
+#include "common/fingerprint.h"
+#include "engine/scenario.h"
+
+namespace lbchat {
+namespace {
+
+std::span<const std::uint8_t> bytes_of(std::string_view s) {
+  return {reinterpret_cast<const std::uint8_t*>(s.data()), s.size()};
+}
+
+TEST(Fnv1aTest, PinnedVectors) {
+  // Offset basis: the hash of the empty input.
+  EXPECT_EQ(fnv1a({}), 0xCBF29CE484222325ull);
+  EXPECT_EQ(fnv1a({}), kFnvOffsetBasis);
+  // Published FNV-1a 64-bit test vector.
+  EXPECT_EQ(fnv1a(bytes_of("foobar")), 0x85944171F73967E8ull);
+  // Chaining splits arbitrarily.
+  EXPECT_EQ(fnv1a(bytes_of("bar"), fnv1a(bytes_of("foo"))), fnv1a(bytes_of("foobar")));
+}
+
+TEST(FnvHasherTest, PinnedByteLayout) {
+  // Freezes the typed add() byte layout (little-endian via ByteWriter,
+  // strings length-prefixed). Recorded from the initial implementation.
+  FnvHasher h;
+  h.add(1.5);
+  h.add(std::uint64_t{42});
+  h.add(int{-7});
+  h.add(true);
+  h.add(std::string_view{"lbchat"});
+  EXPECT_EQ(h.digest(), 0xBA1E97E39EF06B0Dull);
+}
+
+TEST(FnvHasherTest, EmptyDigestIsOffsetBasis) {
+  EXPECT_EQ(FnvHasher{}.digest(), kFnvOffsetBasis);
+}
+
+TEST(ScenarioFingerprintTest, PinnedDefaults) {
+  // Frozen digests of the default scenario under two approaches, exactly as
+  // the bench cache has keyed them since kScenarioFingerprintVersion = 3.
+  const engine::ScenarioConfig cfg;
+  EXPECT_EQ(scenario_fingerprint(cfg, "LbChat"), 0xB64685EC8CDC8984ull);
+  EXPECT_EQ(scenario_fingerprint(cfg, "ProxSkip"), 0x60AB808818EF3AFAull);
+  engine::ScenarioConfig seeded = cfg;
+  seeded.seed = 2;
+  EXPECT_EQ(scenario_fingerprint(seeded, "LbChat"), 0x38C370FBD211AC4Full);
+}
+
+TEST(ScenarioFingerprintTest, SensitiveToBehaviourShapingFields) {
+  const engine::ScenarioConfig base;
+  const std::uint64_t fp = scenario_fingerprint(base, "LbChat");
+
+  engine::ScenarioConfig c = base;
+  c.seed = 99;
+  EXPECT_NE(scenario_fingerprint(c, "LbChat"), fp);
+
+  c = base;
+  c.duration_s += 1.0;  // a cache entry answers one exact horizon
+  EXPECT_NE(scenario_fingerprint(c, "LbChat"), fp);
+
+  c = base;
+  c.num_vehicles += 1;
+  EXPECT_NE(scenario_fingerprint(c, "LbChat"), fp);
+
+  c = base;
+  c.adversary.byzantine_frac = 0.25;
+  EXPECT_NE(scenario_fingerprint(c, "LbChat"), fp);
+
+  EXPECT_NE(scenario_fingerprint(base, "DP"), fp);
+}
+
+TEST(ScenarioFingerprintTest, InsensitiveToWallClockKnobs) {
+  // num_threads and spatial_index change wall-clock behaviour only — runs
+  // are bit-identical — so they must not split cache keys.
+  const engine::ScenarioConfig base;
+  engine::ScenarioConfig c = base;
+  c.num_threads = 8;
+  c.spatial_index = !c.spatial_index;
+  EXPECT_EQ(scenario_fingerprint(c, "LbChat"), scenario_fingerprint(base, "LbChat"));
+}
+
+TEST(ScenarioFingerprintTest, InertRobustnessLayerDoesNotSplitKeys) {
+  // An all-off adversary/hetero config is bit-inert, so it hashes like a
+  // scenario from before the robustness layer existed: toggling a knob that
+  // stays disabled (enabled() == false) must not change the key.
+  const engine::ScenarioConfig base;
+  engine::ScenarioConfig c = base;
+  c.adversary.poison_scale = 99.0;  // ignored while byzantine_frac == 0
+  EXPECT_EQ(scenario_fingerprint(c, "LbChat"), scenario_fingerprint(base, "LbChat"));
+}
+
+}  // namespace
+}  // namespace lbchat

@@ -1,14 +1,18 @@
 // ckpt_check: inspect and validate a fleet checkpoint file.
 //
-// Usage: ckpt_check FILE...
+// Usage: ckpt_check [--json] FILE...
 //
 // For each file: verifies the CRC32 frame envelope, the checkpoint version,
 // and the section framing (engine::inspect_checkpoint — no ScenarioConfig
-// needed), then prints the header and a per-section size breakdown. Exits
-// nonzero if any file fails validation, so it doubles as a CI gate.
+// needed), then prints the header and the section tag+length table with
+// human-readable section names. With --json, prints one JSON object per file
+// (the same rendering the fleet service's status endpoint embeds for
+// preempted jobs). Exits nonzero if any file fails validation, so it doubles
+// as a CI gate.
 
 #include <cstdint>
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -28,18 +32,31 @@ bool read_file(const char* path, std::vector<std::uint8_t>& out) {
   return ok;
 }
 
-bool check(const char* path) {
+bool check(const char* path, bool json) {
   std::vector<std::uint8_t> bytes;
   if (!read_file(path, bytes)) {
-    std::fprintf(stderr, "%s: cannot read\n", path);
+    if (json) {
+      std::printf("{\"file\":\"%s\",\"ok\":false,\"error\":\"cannot read\"}\n", path);
+    } else {
+      std::fprintf(stderr, "%s: cannot read\n", path);
+    }
     return false;
   }
   lbchat::engine::CkptInfo info;
   const auto st = lbchat::engine::inspect_checkpoint(bytes, info);
   if (st != lbchat::engine::CkptStatus::kOk) {
-    std::fprintf(stderr, "%s: INVALID (%s)\n", path,
-                 std::string{lbchat::engine::to_string(st)}.c_str());
+    const std::string why{lbchat::engine::to_string(st)};
+    if (json) {
+      std::printf("{\"file\":\"%s\",\"ok\":false,\"error\":\"%s\"}\n", path, why.c_str());
+    } else {
+      std::fprintf(stderr, "%s: INVALID (%s)\n", path, why.c_str());
+    }
     return false;
+  }
+  if (json) {
+    std::printf("{\"file\":\"%s\",\"ok\":true,\"size_bytes\":%zu,\"checkpoint\":%s}\n",
+                path, bytes.size(), lbchat::engine::ckpt_info_json(info).c_str());
+    return true;
   }
   std::printf("%s: ok (%zu bytes)\n", path, bytes.size());
   std::printf("  version       %u\n", info.version);
@@ -49,8 +66,9 @@ bool check(const char* path) {
   std::printf("  vehicles      %u\n", info.num_vehicles);
   std::printf("  strategy      %s\n", info.strategy.c_str());
   std::printf("  sim time      %.3f s\n", info.time_s);
+  std::printf("  tag  section    %12s\n", "bytes");
   for (const auto& s : info.sections) {
-    std::printf("  section %-9s %10llu bytes\n",
+    std::printf("  %3u  %-9s %12llu\n", s.tag,
                 std::string{lbchat::engine::section_name(s.tag)}.c_str(),
                 static_cast<unsigned long long>(s.bytes));
   }
@@ -60,13 +78,19 @@ bool check(const char* path) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) {
-    std::fprintf(stderr, "usage: ckpt_check FILE...\n");
+  bool json = false;
+  int first = 1;
+  if (argc > 1 && std::strcmp(argv[1], "--json") == 0) {
+    json = true;
+    first = 2;
+  }
+  if (first >= argc) {
+    std::fprintf(stderr, "usage: ckpt_check [--json] FILE...\n");
     return 2;
   }
   int failures = 0;
-  for (int i = 1; i < argc; ++i) {
-    if (!check(argv[i])) ++failures;
+  for (int i = first; i < argc; ++i) {
+    if (!check(argv[i], json)) ++failures;
   }
   return failures == 0 ? 0 : 1;
 }

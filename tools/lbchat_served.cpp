@@ -1,0 +1,133 @@
+// lbchat_served: the fleet-evaluation daemon (DESIGN.md §13).
+//
+// Listens on a unix-domain socket for line-delimited JSON requests
+// (svc/protocol.h), runs submitted scenario jobs on a checkpoint-preemptible
+// worker pool, caches results by config fingerprint, and serves payloads
+// from per-job output directories.
+//
+// Usage:
+//   lbchat_served --socket PATH [--root DIR] [--workers N] [--epoch S]
+//                 [--queue-cap N] [--no-cache]
+//
+// SIGINT/SIGTERM trigger the same path as a protocol "shutdown": the socket
+// loop exits and the service persists every unfinished job (spec +
+// checkpoint) to <root>/state/, so the next daemon over the same root
+// resumes them.
+
+#include <signal.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "svc/protocol.h"
+#include "svc/server.h"
+#include "svc/socket.h"
+
+namespace {
+
+std::atomic<bool> g_signalled{false};
+
+void on_signal(int) { g_signalled.store(true); }
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: lbchat_served --socket PATH [--root DIR] [--workers N]\n"
+               "                     [--epoch S] [--queue-cap N] [--no-cache]\n"
+               "  --socket PATH   unix-domain socket to listen on (required)\n"
+               "  --root DIR      jobs/cache/state directory (default .lbchat_svc)\n"
+               "  --workers N     worker threads (default 2)\n"
+               "  --epoch S       sim seconds per checkpoint slice (default 60)\n"
+               "  --queue-cap N   max queued jobs before backpressure (default 64)\n"
+               "  --no-cache      disable the fingerprint result cache\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace lbchat;
+
+  std::string socket_path;
+  svc::ServiceOptions opts;
+
+  for (int i = 1; i < argc; ++i) {
+    const auto need_value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", flag);
+        usage();
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--socket") == 0) {
+      socket_path = need_value("--socket");
+    } else if (std::strcmp(argv[i], "--root") == 0) {
+      opts.root = need_value("--root");
+    } else if (std::strcmp(argv[i], "--workers") == 0) {
+      opts.workers = std::atoi(need_value("--workers"));
+    } else if (std::strcmp(argv[i], "--epoch") == 0) {
+      opts.epoch_s = std::atof(need_value("--epoch"));
+    } else if (std::strcmp(argv[i], "--queue-cap") == 0) {
+      opts.queue_capacity = static_cast<std::size_t>(std::atoi(need_value("--queue-cap")));
+    } else if (std::strcmp(argv[i], "--no-cache") == 0) {
+      opts.cache_enabled = false;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+      usage();
+      return 2;
+    }
+  }
+  if (socket_path.empty() || opts.workers < 1 || opts.epoch_s <= 0.0 ||
+      opts.queue_capacity < 1) {
+    usage();
+    return 2;
+  }
+
+  svc::SocketServer server;
+  std::string error;
+  if (!server.listen(socket_path, error)) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+    return 1;
+  }
+
+  struct sigaction sa{};
+  sa.sa_handler = on_signal;
+  ::sigaction(SIGINT, &sa, nullptr);
+  ::sigaction(SIGTERM, &sa, nullptr);
+
+  svc::FleetService service{opts};
+  std::printf("lbchat_served: %d workers, epoch %.1fs, root %s, socket %s\n", opts.workers,
+              opts.epoch_s, opts.root.string().c_str(), socket_path.c_str());
+  const svc::ServiceStats boot = service.stats();
+  if (boot.recovered > 0) {
+    std::printf("lbchat_served: recovered %llu persisted job(s)\n",
+                static_cast<unsigned long long>(boot.recovered));
+  }
+  std::fflush(stdout);
+
+  // The poll loop only checks its stop flag between requests; a watcher
+  // thread forwards process signals to it.
+  std::thread watcher{[&server] {
+    while (!g_signalled.load()) {
+      struct timespec ts{0, 50'000'000};
+      ::nanosleep(&ts, nullptr);
+    }
+    server.stop();
+  }};
+
+  server.serve([&service](const std::string& line) {
+    const svc::ProtocolReply reply = svc::handle_request(service, line);
+    return svc::ServerReply{reply.line, reply.shutdown};
+  });
+
+  g_signalled.store(true);  // stop the watcher when shutdown came via protocol
+  watcher.join();
+
+  std::printf("lbchat_served: shutting down, persisting unfinished jobs\n");
+  std::fflush(stdout);
+  service.shutdown(/*persist=*/true);
+  return 0;
+}
