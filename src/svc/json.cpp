@@ -88,6 +88,16 @@ class Parser {
       fail("unexpected end of input");
       return nullptr;
     }
+    const std::size_t start = pos_;
+    auto v = parse_value_inner(depth);
+    if (v != nullptr) {
+      v->source_begin_ = start;
+      v->source_end_ = pos_;
+    }
+    return v;
+  }
+
+  std::unique_ptr<JsonValue> parse_value_inner(int depth) {
     const char c = text_[pos_];
     switch (c) {
       case '{':

@@ -52,6 +52,12 @@ class JsonValue {
   /// Object member lookup; nullptr when absent or not an object.
   [[nodiscard]] const JsonValue* get(std::string_view key) const;
 
+  /// Byte span of this value in the parsed source text: [source_begin,
+  /// source_end). Lets callers slice a value's exact source bytes out of the
+  /// original input (no re-scanning, no re-serialization).
+  [[nodiscard]] std::size_t source_begin() const { return source_begin_; }
+  [[nodiscard]] std::size_t source_end() const { return source_end_; }
+
  private:
   friend class Parser;
 
@@ -61,6 +67,8 @@ class JsonValue {
   std::string string_;
   std::vector<std::unique_ptr<JsonValue>> items_;
   std::vector<std::pair<std::string, std::unique_ptr<JsonValue>>> members_;
+  std::size_t source_begin_ = 0;
+  std::size_t source_end_ = 0;
 };
 
 }  // namespace lbchat::svc

@@ -1,5 +1,6 @@
 #include "svc/protocol.h"
 
+#include <algorithm>
 #include <cinttypes>
 #include <cmath>
 #include <cstdio>
@@ -9,6 +10,10 @@
 
 namespace lbchat::svc {
 namespace {
+
+/// Per-request cap on how long a "wait" may occupy the serve loop.
+constexpr double kDefaultWaitTimeoutS = 10.0;
+constexpr double kMaxWaitTimeoutS = 60.0;
 
 ProtocolReply error_reply(const std::string& what) {
   return {"{\"ok\":false,\"error\":\"" + json_escape(what) + "\"}", false};
@@ -89,44 +94,14 @@ ProtocolReply handle_request(FleetService& service, std::string_view line) {
   if (c == "submit") {
     const JsonValue* spec = root->get("spec");
     if (spec == nullptr) return error_reply("missing \"spec\"");
+    if (!spec->is_object()) return error_reply("\"spec\" must be an object");
     // The service wants the spec's *source text* (it persists the exact
-    // submitted bytes), so slice the spec object's span out of the request
-    // line by brace matching from the '{' after the "spec" key — the DOM
-    // parse above already guaranteed the line is valid JSON.
-    const std::size_t key = line.find("\"spec\"");
-    std::size_t open = key == std::string_view::npos ? std::string_view::npos
-                                                     : line.find('{', key + 6);
-    if (open == std::string_view::npos) return error_reply("\"spec\" must be an object");
-    int depth = 0;
-    bool in_string = false;
-    bool escaped = false;
-    std::size_t end = std::string_view::npos;
-    for (std::size_t i = open; i < line.size(); ++i) {
-      const char ch = line[i];
-      if (in_string) {
-        if (escaped) {
-          escaped = false;
-        } else if (ch == '\\') {
-          escaped = true;
-        } else if (ch == '"') {
-          in_string = false;
-        }
-        continue;
-      }
-      if (ch == '"') {
-        in_string = true;
-      } else if (ch == '{') {
-        ++depth;
-      } else if (ch == '}') {
-        if (--depth == 0) {
-          end = i + 1;
-          break;
-        }
-      }
-    }
-    if (end == std::string_view::npos) return error_reply("\"spec\" must be an object");
+    // submitted bytes), so slice the spec value's byte span — recorded by the
+    // parser — out of the request line.
     std::string error;
-    const std::uint64_t id = service.submit(line.substr(open, end - open), error);
+    const std::uint64_t id = service.submit(
+        line.substr(spec->source_begin(), spec->source_end() - spec->source_begin()),
+        error);
     if (id == 0) return error_reply(error);
     const auto st = service.status(id);
     char buf[128];
@@ -141,8 +116,19 @@ ProtocolReply handle_request(FleetService& service, std::string_view line) {
     if (!get_id(*root, id, err)) return err;
     std::optional<JobStatus> st;
     if (c == "wait") {
+      // Every wait is bounded: the daemon serves connections sequentially, so
+      // an unbounded wait on a job that never terminates (held, drained)
+      // would wedge the whole service. Clients re-poll until terminal.
+      double timeout_s = kDefaultWaitTimeoutS;
+      const JsonValue* t = root->get("timeout_s");
+      if (t != nullptr) {
+        if (!t->is_number() || t->as_number() < 0.0 || !std::isfinite(t->as_number())) {
+          return error_reply("\"timeout_s\" must be a non-negative number");
+        }
+        timeout_s = std::min(t->as_number(), kMaxWaitTimeoutS);
+      }
       JobStatus s;
-      if (service.wait(id, s)) st = s;
+      if (service.wait(id, s, timeout_s)) st = s;
     } else {
       st = service.status(id);
     }

@@ -7,7 +7,9 @@
 //   {"cmd":"status","id":N}                 -> {"ok":true,"job":{...}}
 //   {"cmd":"jobs"}                          -> {"ok":true,"jobs":[...]}
 //   {"cmd":"result","id":N}                 -> {"ok":true,"output_dir":"...",...}
-//   {"cmd":"wait","id":N}                   -> {"ok":true,"job":{...}} (blocks)
+//   {"cmd":"wait","id":N,"timeout_s":T}     -> {"ok":true,"job":{...}}
+//     (blocks at most timeout_s — default 10, cap 60 — then replies with the
+//      job's current status; clients re-poll until the state is terminal)
 //   {"cmd":"cancel","id":N}                 -> {"ok":true}
 //   {"cmd":"preempt","id":N,"hold":B}       -> {"ok":true}
 //   {"cmd":"release","id":N}                -> {"ok":true}

@@ -1,6 +1,7 @@
 #include "svc/server.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <exception>
@@ -96,7 +97,6 @@ std::uint64_t FleetService::submit(std::string_view spec_text, std::string& erro
   job->id = id;
   job->spec = std::move(spec);
   job->fingerprint = fp;
-  ++totals_.submitted;
 
   if (hit) {
     // Serve the cached payload without running: materialize the per-job
@@ -111,6 +111,7 @@ std::uint64_t FleetService::submit(std::string_view spec_text, std::string& erro
       job->payload = std::move(cached_payload);
       job->output_dir = dir.string();
       job->progress_s = job->spec.cfg.duration_s;
+      ++totals_.submitted;
       ++totals_.cache_hits;
       jobs_.emplace(id, std::move(job));
       idle_cv_.notify_all();
@@ -123,6 +124,9 @@ std::uint64_t FleetService::submit(std::string_view spec_text, std::string& erro
     error = "queue_full";
     return 0;
   }
+  // Count only accepted submissions, so stats keep the invariant
+  // submitted == completed + failed + cancelled + in-flight.
+  ++totals_.submitted;
   jobs_.emplace(id, std::move(job));
   work_cv_.notify_one();
   return id;
@@ -244,10 +248,21 @@ bool FleetService::release(std::uint64_t id) {
   return true;
 }
 
-bool FleetService::wait(std::uint64_t id, JobStatus& out) {
+bool FleetService::wait(std::uint64_t id, JobStatus& out, double timeout_s) {
   std::unique_lock lk{mu_};
   if (jobs_.find(id) == jobs_.end()) return false;
-  idle_cv_.wait(lk, [&] { return terminal(jobs_.at(id)->state); });
+  const bool bounded = timeout_s >= 0.0;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                             std::chrono::duration<double>{
+                                                 bounded ? timeout_s : 0.0});
+  while (!terminal(jobs_.at(id)->state) && !stop_) {
+    if (bounded) {
+      if (idle_cv_.wait_until(lk, deadline) == std::cv_status::timeout) break;
+    } else {
+      idle_cv_.wait(lk);
+    }
+  }
   out = status_of(*jobs_.at(id));
   return true;
 }
@@ -272,6 +287,7 @@ void FleetService::shutdown(bool persist) {
     stop_ = true;
   }
   work_cv_.notify_all();
+  idle_cv_.notify_all();  // unblock wait()ers promptly — stop_ ends their wait
   for (auto& t : threads_) t.join();
   std::unique_lock lk{mu_};
   joined_ = true;
@@ -355,8 +371,9 @@ void FleetService::recover_state() {
     queue_.push(id, job->spec.priority, /*force=*/true);
     jobs_.emplace(id, std::move(job));
     ++totals_.recovered;
-    std::filesystem::remove(path, ec);
-    std::filesystem::remove(ckpt_path, ec);
+    // The state files stay on disk so a recovered job survives another
+    // non-clean exit: finish_terminal() removes them once the job completes,
+    // and persist_job() overwrites them on the next clean shutdown.
   }
 }
 

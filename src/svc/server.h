@@ -137,8 +137,11 @@ class FleetService {
   /// Re-queue a held preempted job.
   bool release(std::uint64_t id);
 
-  /// Block until `id` reaches a terminal state; false when unknown.
-  bool wait(std::uint64_t id, JobStatus& out);
+  /// Block until `id` reaches a terminal state, the service stops, or
+  /// `timeout_s` elapses (negative: no timeout). False only when the id is
+  /// unknown; otherwise `out` holds the job's status at return — callers
+  /// needing a terminal state must check `out.state` and re-poll.
+  bool wait(std::uint64_t id, JobStatus& out, double timeout_s = -1.0);
 
   /// Stop intake, persist queued/preempted jobs to the state directory, and
   /// wait for in-flight jobs to finish. Returns persisted-job count.

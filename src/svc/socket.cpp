@@ -16,7 +16,9 @@ constexpr std::size_t kMaxLine = 4u << 20;  ///< defensive cap per request line
 
 bool write_all(int fd, const char* data, std::size_t n) {
   while (n > 0) {
-    const ssize_t w = ::write(fd, data, n);
+    // MSG_NOSIGNAL: a peer that disconnected before reading its reply must
+    // surface as EPIPE (a closed connection), not as a fatal SIGPIPE.
+    const ssize_t w = ::send(fd, data, n, MSG_NOSIGNAL);
     if (w < 0) {
       if (errno == EINTR) continue;
       return false;

@@ -5,8 +5,10 @@
 // accept loop polls with a short timeout so stop() (safe to call from a
 // signal-triggered thread) is noticed promptly. Concurrency lives in the
 // FleetService worker pool, not here: protocol requests are cheap (submit,
-// status) or deliberately blocking (wait, drain), and a sequential loop
-// keeps the daemon free of per-connection threads.
+// status) or bounded (wait times out and the client re-polls; drain blocks
+// only until in-flight jobs finish), and a sequential loop keeps the daemon
+// free of per-connection threads. Replies are sent with MSG_NOSIGNAL, so a
+// client that disconnects early is a closed connection, never a SIGPIPE.
 //
 // request_over_socket is the matching one-shot client: connect, send one
 // line, read one reply line.

@@ -8,9 +8,12 @@
 
 #include <gtest/gtest.h>
 
+#include <sys/socket.h>
+#include <sys/un.h>
 #include <unistd.h>
 
 #include <atomic>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <string>
@@ -118,6 +121,21 @@ TEST(JsonTest, RejectsMalformedInput) {
   EXPECT_EQ(json_parse("{} trailing", err), nullptr);
   EXPECT_EQ(json_parse(R"({"a":1,"a":2})", err), nullptr) << "duplicate keys";
   EXPECT_FALSE(err.empty());
+}
+
+TEST(JsonTest, RecordsSourceSpans) {
+  std::string err;
+  const std::string text = R"( {"a":"{spec}","spec":{"x":[1, 2]},"n":-2e3} )";
+  const auto v = json_parse(text, err);
+  ASSERT_NE(v, nullptr) << err;
+  const auto slice = [&](const JsonValue* j) {
+    return text.substr(j->source_begin(), j->source_end() - j->source_begin());
+  };
+  EXPECT_EQ(slice(v.get()), R"({"a":"{spec}","spec":{"x":[1, 2]},"n":-2e3})");
+  EXPECT_EQ(slice(v->get("a")), R"("{spec}")");
+  EXPECT_EQ(slice(v->get("spec")), R"({"x":[1, 2]})");
+  EXPECT_EQ(slice(v->get("spec")->get("x")), "[1, 2]");
+  EXPECT_EQ(slice(v->get("n")), "-2e3");
 }
 
 TEST(JsonTest, EscapeRoundTrips) {
@@ -473,6 +491,8 @@ TEST(FleetServiceTest, BackpressureAndCancel) {
   ASSERT_NE(b, 0u);
   EXPECT_EQ(service.submit(tiny_spec(9), error), 0u);
   EXPECT_EQ(error, "queue_full");
+  EXPECT_EQ(service.stats().submitted, 2u)
+      << "rejected submissions must not count as submitted";
 
   EXPECT_TRUE(service.cancel(a));
   EXPECT_FALSE(service.cancel(a)) << "already terminal";
@@ -483,6 +503,58 @@ TEST(FleetServiceTest, BackpressureAndCancel) {
   EXPECT_NE(service.submit(tiny_spec(9), error), 0u);
   EXPECT_FALSE(service.cancel(999)) << "unknown job";
   service.shutdown(false);
+  std::filesystem::remove_all(root);
+}
+
+TEST(FleetServiceTest, WaitTimesOutWithoutBlockingOnNonTerminalJobs) {
+  const auto root = fresh_dir("wait_timeout");
+  FleetService service{tiny_options(root, 0)};  // no workers: never terminal
+  std::string error;
+  const std::uint64_t id = service.submit(tiny_spec(), error);
+  ASSERT_NE(id, 0u) << error;
+  JobStatus status;
+  EXPECT_FALSE(service.wait(999, status, 0.05)) << "unknown id stays false";
+  ASSERT_TRUE(service.wait(id, status, 0.05));
+  EXPECT_EQ(status.state, JobState::kQueued)
+      << "a bounded wait must return the current status instead of hanging";
+  service.shutdown(false);
+  std::filesystem::remove_all(root);
+}
+
+// A recovered job's state files must outlive the recovery itself: deleting
+// them at boot meant any non-clean exit after a restart silently lost every
+// unfinished job. They are removed only when the job reaches a terminal state.
+TEST(FleetServiceTest, RecoveredJobsSurviveASecondUncleanRestart) {
+  const auto root = fresh_dir("rerestart");
+  std::uint64_t id = 0;
+  {
+    FleetService service{tiny_options(root, 0)};
+    std::string error;
+    id = service.submit(tiny_spec(), error);
+    ASSERT_NE(id, 0u) << error;
+    service.shutdown(/*persist=*/true);
+  }
+  const auto spec_file = root / "state" / ("job_" + std::to_string(id) + ".spec.json");
+  {
+    // Boot 2 recovers the job, then exits without persisting — the stand-in
+    // for a crash/SIGKILL after recovery.
+    FleetService service{tiny_options(root, 0)};
+    EXPECT_EQ(service.stats().recovered, 1u);
+    EXPECT_TRUE(std::filesystem::exists(spec_file))
+        << "recovery must not delete the persisted state";
+    service.shutdown(/*persist=*/false);
+  }
+  {
+    // Boot 3 still sees the job and runs it to completion.
+    FleetService service{tiny_options(root, 1)};
+    EXPECT_EQ(service.stats().recovered, 1u) << "job lost by the second restart";
+    JobStatus status;
+    ASSERT_TRUE(service.wait(id, status));
+    EXPECT_EQ(status.state, JobState::kDone) << status.error;
+    service.shutdown(false);
+  }
+  EXPECT_FALSE(std::filesystem::exists(spec_file))
+      << "terminal jobs must clean up their state files";
   std::filesystem::remove_all(root);
 }
 
@@ -534,6 +606,29 @@ TEST(ProtocolTest, RejectsMalformedRequests) {
   std::filesystem::remove_all(root);
 }
 
+TEST(ProtocolTest, SubmitSlicesSpecFromParserSpans) {
+  const auto root = fresh_dir("proto_spans");
+  FleetService service{tiny_options(root, 0)};
+  // An earlier (tolerated) member containing a nested "spec" key used to
+  // derail the textual slicer; the spec's span now comes from the DOM.
+  const std::string request =
+      R"({"cmd":"submit","meta":{"spec":{"bogus":1}},"spec":)" + tiny_spec() + "}";
+  const auto reply = handle_request(service, request);
+  ASSERT_EQ(reply.line.rfind("{\"ok\":true", 0), 0u) << reply.line;
+  // The persisted source is exactly the spec member's bytes.
+  const auto st = service.status(1);
+  ASSERT_TRUE(st.has_value());
+  JobSpec expected;
+  std::string err;
+  ASSERT_TRUE(parse_job_spec(tiny_spec(), expected, err)) << err;
+  EXPECT_EQ(st->fingerprint, job_fingerprint(expected));
+  EXPECT_NE(handle_request(service, R"({"cmd":"submit","spec":[1]})")
+                .line.find("must be an object"),
+            std::string::npos);
+  service.shutdown(false);
+  std::filesystem::remove_all(root);
+}
+
 TEST(ProtocolTest, StatusEmbedsCheckpointInspectionForPreemptedJobs) {
   const auto root = fresh_dir("proto_ckpt");
   FleetService service{tiny_options(root, 0)};
@@ -567,9 +662,13 @@ TEST(SocketTest, RequestRoundTripAndShutdown) {
   ASSERT_FALSE(submit_reply.empty()) << error;
   EXPECT_EQ(submit_reply.rfind("{\"ok\":true", 0), 0u) << submit_reply;
 
-  const std::string wait_reply =
-      request_over_socket(sock, R"({"cmd":"wait","id":1})", error);
-  ASSERT_FALSE(wait_reply.empty()) << error;
+  // Waits are bounded daemon-side; poll until the job is terminal.
+  std::string wait_reply;
+  for (int i = 0; i < 60; ++i) {
+    wait_reply = request_over_socket(sock, R"({"cmd":"wait","id":1,"timeout_s":2})", error);
+    ASSERT_FALSE(wait_reply.empty()) << error;
+    if (wait_reply.find("\"state\":\"done\"") != std::string::npos) break;
+  }
   EXPECT_NE(wait_reply.find("\"state\":\"done\""), std::string::npos) << wait_reply;
 
   const std::string result_reply =
@@ -580,6 +679,50 @@ TEST(SocketTest, RequestRoundTripAndShutdown) {
   const std::string stats_reply =
       request_over_socket(sock, R"({"cmd":"stats"})", error);
   EXPECT_NE(stats_reply.find("\"completed\":1"), std::string::npos) << stats_reply;
+
+  const std::string bye = request_over_socket(sock, R"({"cmd":"shutdown"})", error);
+  EXPECT_EQ(bye, "{\"ok\":true}");
+  serve_thread.join();
+  service.shutdown(false);
+  std::filesystem::remove_all(root);
+}
+
+// A client that disconnects before reading its reply must be a closed
+// connection, not a SIGPIPE: the default disposition would kill the daemon
+// mid-flight, losing every accepted-but-unfinished job.
+TEST(SocketTest, ClientGoneBeforeReplyDoesNotKillServer) {
+  const auto root = fresh_dir("socket_gone");
+  const std::string sock = (root / "svc.sock").string();
+  FleetService service{tiny_options(root, 0)};  // no workers: job stays queued
+  SocketServer server;
+  std::string error;
+  ASSERT_TRUE(server.listen(sock, error)) << error;
+  std::thread serve_thread{[&] {
+    server.serve([&service](const std::string& line) {
+      const ProtocolReply reply = handle_request(service, line);
+      return ServerReply{reply.line, reply.shutdown};
+    });
+  }};
+  ASSERT_NE(service.submit(tiny_spec(), error), 0u) << error;
+
+  // Raw client: send a bounded wait, then vanish without reading the reply.
+  // The daemon writes its answer ~0.3s later into the closed socket.
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  ASSERT_LT(sock.size(), sizeof addr.sun_path);
+  std::memcpy(addr.sun_path, sock.c_str(), sock.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr), 0);
+  const std::string req = "{\"cmd\":\"wait\",\"id\":1,\"timeout_s\":0.3}\n";
+  ASSERT_EQ(::send(fd, req.data(), req.size(), MSG_NOSIGNAL),
+            static_cast<ssize_t>(req.size()));
+  ::close(fd);
+
+  // The daemon survived and still answers.
+  const std::string stats_reply = request_over_socket(sock, R"({"cmd":"stats"})", error);
+  ASSERT_FALSE(stats_reply.empty()) << error;
+  EXPECT_EQ(stats_reply.rfind("{\"ok\":true", 0), 0u) << stats_reply;
 
   const std::string bye = request_over_socket(sock, R"({"cmd":"shutdown"})", error);
   EXPECT_EQ(bye, "{\"ok\":true}");

@@ -97,6 +97,11 @@ int main(int argc, char** argv) {
   sa.sa_handler = on_signal;
   ::sigaction(SIGINT, &sa, nullptr);
   ::sigaction(SIGTERM, &sa, nullptr);
+  // A client that vanishes before reading its reply must not kill the daemon:
+  // socket writes use MSG_NOSIGNAL, and SIG_IGN covers everything else.
+  struct sigaction ign{};
+  ign.sa_handler = SIG_IGN;
+  ::sigaction(SIGPIPE, &ign, nullptr);
 
   svc::FleetService service{opts};
   std::printf("lbchat_served: %d workers, epoch %.1fs, root %s, socket %s\n", opts.workers,

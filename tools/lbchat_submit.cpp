@@ -57,6 +57,28 @@ int run_request(const std::string& socket_path, const std::string& request) {
   return reply.rfind("{\"ok\":true", 0) == 0 ? 0 : 1;
 }
 
+// The daemon bounds every wait (so one slow job cannot wedge the serve loop);
+// blocking-until-finished lives here: re-poll until the state is terminal.
+int wait_until_terminal(const std::string& socket_path, const std::string& id) {
+  const std::string request = "{\"cmd\":\"wait\",\"id\":" + id + "}";
+  for (;;) {
+    std::string error;
+    const std::string reply =
+        lbchat::svc::request_over_socket(socket_path, request, error);
+    if (reply.empty()) {
+      std::fprintf(stderr, "%s\n", error.c_str());
+      return 1;
+    }
+    if (reply.rfind("{\"ok\":true", 0) != 0 ||
+        reply.find("\"state\":\"done\"") != std::string::npos ||
+        reply.find("\"state\":\"cancelled\"") != std::string::npos ||
+        reply.find("\"state\":\"failed\"") != std::string::npos) {
+      std::printf("%s\n", reply.c_str());
+      return reply.rfind("{\"ok\":true", 0) == 0 ? 0 : 1;
+    }
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -101,7 +123,7 @@ int main(int argc, char** argv) {
     const std::size_t idpos = reply.find("\"id\":");
     if (idpos == std::string::npos) return 1;
     const std::string id = std::to_string(std::atoll(reply.c_str() + idpos + 5));
-    return run_request(socket_path, "{\"cmd\":\"wait\",\"id\":" + id + "}");
+    return wait_until_terminal(socket_path, id);
   }
   if (cmd == "status" || cmd == "wait" || cmd == "result" || cmd == "cancel" ||
       cmd == "release" || cmd == "preempt") {
@@ -110,6 +132,7 @@ int main(int argc, char** argv) {
       return 2;
     }
     const std::string id = argv[i++];
+    if (cmd == "wait") return wait_until_terminal(socket_path, id);
     std::string req = "{\"cmd\":\"" + cmd + "\",\"id\":" + id;
     if (cmd == "preempt" && i < argc && std::strcmp(argv[i], "--hold") == 0) {
       req += ",\"hold\":true";
