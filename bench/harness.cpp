@@ -56,9 +56,9 @@ std::string sanitize_name(std::string_view name) {
   return out;
 }
 
-void export_run_observability(const engine::ScenarioConfig& cfg, baselines::Approach approach,
+void export_run_observability(const engine::ScenarioConfig& cfg, std::string_view strategy,
                               std::uint64_t key, const engine::RunMetrics& m) {
-  const std::string approach_str{baselines::approach_name(approach)};
+  const std::string approach_str{strategy};
   char stem[128];
   std::snprintf(stem, sizeof stem, "%s_%016llx", sanitize_name(approach_str).c_str(),
                 static_cast<unsigned long long>(key));
@@ -177,17 +177,25 @@ eval::EvalConfig default_eval_config() {
   return ec;
 }
 
-std::uint64_t run_fingerprint(const engine::ScenarioConfig& cfg,
-                              baselines::Approach approach) {
+std::uint64_t run_fingerprint(const engine::ScenarioConfig& cfg, std::string_view strategy,
+                              const baselines::StrategyOptions& options) {
   // The shared implementation (common/fingerprint.h) is byte-for-byte the
   // hash this harness historically computed, so pre-existing .bench_cache
   // entries keep their keys; the svc ResultCache derives its keys from the
-  // same function.
-  return scenario_fingerprint(cfg, baselines::approach_name(approach));
+  // same function. Non-default strategy options enter only via the
+  // conditional tail, so default-configured runs keep their keys too.
+  return scenario_fingerprint(cfg, strategy,
+                              baselines::registry().fingerprint_options(strategy, options));
 }
 
-CachedRun run_or_load(const engine::ScenarioConfig& cfg, baselines::Approach approach) {
-  const std::uint64_t key = run_fingerprint(cfg, approach);
+std::uint64_t run_fingerprint(const engine::ScenarioConfig& cfg,
+                              baselines::Approach approach) {
+  return run_fingerprint(cfg, baselines::approach_name(approach));
+}
+
+CachedRun run_or_load(const engine::ScenarioConfig& cfg, std::string_view strategy,
+                      const baselines::StrategyOptions& options) {
+  const std::uint64_t key = run_fingerprint(cfg, strategy, options);
   char name[64];
   std::snprintf(name, sizeof name, "run_%016llx.bin",
                 static_cast<unsigned long long>(key));
@@ -196,16 +204,16 @@ CachedRun run_or_load(const engine::ScenarioConfig& cfg, baselines::Approach app
   if (read_run(path, run)) return run;
 
   std::fprintf(stderr, "[bench] training %s (wireless=%d, |C|=%zu, %.0fs)...\n",
-               std::string{baselines::approach_name(approach)}.c_str(),
-               cfg.wireless_loss ? 1 : 0, cfg.coreset_size, cfg.duration_s);
+               std::string{strategy}.c_str(), cfg.wireless_loss ? 1 : 0, cfg.coreset_size,
+               cfg.duration_s);
   // LBCHAT_TRACE=1|events|spans turns on observability for uncached runs;
   // each run starts from a clean slate so its exports cover exactly that
   // run. The cache fingerprint is unaffected (tracing is pure observation).
   const bool tracing = obs::init_from_env();
   if (tracing) obs::reset();
-  engine::FleetSim sim{cfg, baselines::make_strategy(approach)};
+  engine::FleetSim sim{cfg, baselines::registry().make(strategy, options)};
   const engine::RunMetrics m = sim.run();
-  if (tracing) export_run_observability(cfg, approach, key, m);
+  if (tracing) export_run_observability(cfg, strategy, key, m);
   run.loss_curve = m.loss_curve;
   run.honest_loss_curve = m.honest_loss_curve;
   run.attacker_loss_curve = m.attacker_loss_curve;
@@ -214,6 +222,10 @@ CachedRun run_or_load(const engine::ScenarioConfig& cfg, baselines::Approach app
   run.train_steps = m.train_steps;
   write_run(path, run);
   return run;
+}
+
+CachedRun run_or_load(const engine::ScenarioConfig& cfg, baselines::Approach approach) {
+  return run_or_load(cfg, baselines::approach_name(approach));
 }
 
 std::array<double, 5> success_rates_or_load(const engine::ScenarioConfig& cfg,

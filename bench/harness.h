@@ -10,9 +10,11 @@
 #include <array>
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "baselines/factory.h"
+#include "baselines/registry.h"
 #include "common/stats.h"
 #include "engine/fleet.h"
 #include "engine/metrics.h"
@@ -40,12 +42,22 @@ struct CachedRun {
   long train_steps = 0;
 };
 
-/// Deterministic fingerprint of a scenario (all fields) + approach name.
+/// Deterministic fingerprint of a scenario (all fields) + strategy name +
+/// non-default strategy options (registry-canonicalized; default or absent
+/// options leave the key unchanged, so pre-registry cache entries survive).
+[[nodiscard]] std::uint64_t run_fingerprint(const engine::ScenarioConfig& cfg,
+                                            std::string_view strategy,
+                                            const baselines::StrategyOptions& options = {});
+/// Enum shim for the pre-registry bench binaries.
 [[nodiscard]] std::uint64_t run_fingerprint(const engine::ScenarioConfig& cfg,
                                             baselines::Approach approach);
 
 /// Run the campaign entry (or load it from .bench_cache). Prints a one-line
 /// progress note to stderr when an actual run is required.
+[[nodiscard]] CachedRun run_or_load(const engine::ScenarioConfig& cfg,
+                                    std::string_view strategy,
+                                    const baselines::StrategyOptions& options = {});
+/// Enum shim for the pre-registry bench binaries.
 [[nodiscard]] CachedRun run_or_load(const engine::ScenarioConfig& cfg,
                                     baselines::Approach approach);
 

@@ -3,15 +3,16 @@
 // (optionally) driving success rates.
 //
 // Usage:
-//   lbchat_sim_cli [--approach NAME] [--vehicles N] [--duration S]
+//   lbchat_sim_cli [--strategy NAME] [--strategy-opt KEY=VALUE]...
+//                  [--list-strategies] [--vehicles N] [--duration S]
 //                  [--coreset N] [--seed N] [--no-wireless-loss] [--eval]
 //                  [--byzantine-frac F] [--straggler-frac F]
 //                  [--trace-out F] [--events-out F] [--metrics-out F]
 //                  [--report-out F] [--checkpoint-out F] [--resume-from F]
 //                  [--checkpoint-every S]
 //
-// Approaches: ProxSkip  RSU-L  DFL-DDS  DP  LbChat  SCO
-//             "LbChat(equal-comp)"  "LbChat(avg-agg)"
+// Strategies come from the registry (see --list-strategies for names and
+// per-strategy options); --approach is a legacy alias of --strategy.
 
 #include <cstdio>
 #include <cstdlib>
@@ -19,7 +20,7 @@
 #include <string>
 #include <vector>
 
-#include "baselines/factory.h"
+#include "baselines/registry.h"
 #include "common/bytes.h"
 #include "engine/checkpoint.h"
 #include "engine/fleet.h"
@@ -32,13 +33,20 @@ namespace {
 
 void usage() {
   std::fprintf(stderr,
-               "usage: lbchat_sim_cli [--approach NAME] [--vehicles N] [--duration S]\n"
+               "usage: lbchat_sim_cli [--strategy NAME] [--strategy-opt KEY=VALUE]...\n"
+               "                      [--list-strategies]\n"
+               "                      [--vehicles N] [--duration S]\n"
                "                      [--num-vehicles N] [--collect-duration S]\n"
                "                      [--coreset N] [--seed N] [--threads N]\n"
                "                      [--no-wireless-loss] [--eval]\n"
                "                      [--byzantine-frac F] [--straggler-frac F]\n"
                "                      [--trace-out FILE] [--events-out FILE]\n"
                "                      [--metrics-out FILE] [--report-out FILE]\n"
+               "  --strategy NAME   registry name (--approach is a legacy alias)\n"
+               "  --strategy-opt KEY=VALUE  set a per-strategy tunable (repeatable;\n"
+               "                    keys must exist in the strategy's schema)\n"
+               "  --list-strategies print every registered strategy with its\n"
+               "                    option schema, then exit\n"
                "  --threads N       worker lanes for per-vehicle training/eval\n"
                "                    (0 = all hardware threads, 1 = sequential;\n"
                "                    results are bit-identical for any value)\n"
@@ -108,6 +116,7 @@ int main(int argc, char** argv) {
   using namespace lbchat;
 
   std::string approach_name = "LbChat";
+  baselines::StrategyOptions strategy_opts;
   engine::ScenarioConfig cfg;
   cfg.num_vehicles = 8;
   cfg.duration_s = 900.0;
@@ -130,8 +139,25 @@ int main(int argc, char** argv) {
       }
       return argv[++i];
     };
-    if (std::strcmp(argv[i], "--approach") == 0) {
-      approach_name = need_value("--approach");
+    if (std::strcmp(argv[i], "--strategy") == 0 || std::strcmp(argv[i], "--approach") == 0) {
+      approach_name = need_value(argv[i]);
+    } else if (std::strcmp(argv[i], "--strategy-opt") == 0) {
+      const std::string kv = need_value("--strategy-opt");
+      const std::size_t eq = kv.find('=');
+      if (eq == 0 || eq == std::string::npos) {
+        std::fprintf(stderr, "--strategy-opt expects KEY=VALUE, got '%s'\n", kv.c_str());
+        return 2;
+      }
+      strategy_opts.set(kv.substr(0, eq), std::atof(kv.c_str() + eq + 1));
+    } else if (std::strcmp(argv[i], "--list-strategies") == 0) {
+      for (const std::string& name : baselines::registry().list()) {
+        std::printf("%s\n", name.c_str());
+        for (const auto& opt : baselines::registry().option_schema(name)) {
+          std::printf("  --strategy-opt %s=%g  %s\n", opt.name.c_str(), opt.default_value,
+                      opt.description.c_str());
+        }
+      }
+      return 0;
     } else if (std::strcmp(argv[i], "--vehicles") == 0) {
       cfg.num_vehicles = std::atoi(need_value("--vehicles"));
     } else if (std::strcmp(argv[i], "--num-vehicles") == 0) {
@@ -180,9 +206,9 @@ int main(int argc, char** argv) {
     }
   }
 
-  baselines::Approach approach;
+  std::unique_ptr<engine::Strategy> strategy;
   try {
-    approach = baselines::approach_from_name(approach_name);
+    strategy = baselines::registry().make(approach_name, strategy_opts);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "%s\n", e.what());
     usage();
@@ -215,7 +241,7 @@ int main(int argc, char** argv) {
   }
   if (!trace_out.empty()) obs::set_spans_enabled(true);
 
-  engine::FleetSim sim{cfg, baselines::make_strategy(approach)};
+  engine::FleetSim sim{cfg, std::move(strategy)};
 
   if (!resume_from.empty()) {
     std::vector<std::uint8_t> bytes;

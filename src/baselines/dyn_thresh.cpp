@@ -1,0 +1,122 @@
+#include "baselines/dyn_thresh.h"
+
+#include <cmath>
+#include <span>
+#include <stdexcept>
+
+#include "common/bytes.h"
+
+namespace lbchat::baselines {
+
+using engine::FleetSim;
+
+namespace {
+
+double rms_divergence(std::span<const float> params, const std::vector<float>& ref) {
+  double acc = 0.0;
+  for (std::size_t k = 0; k < params.size(); ++k) {
+    const double d = static_cast<double>(params[k]) - static_cast<double>(ref[k]);
+    acc += d * d;
+  }
+  return params.empty() ? 0.0 : std::sqrt(acc / static_cast<double>(params.size()));
+}
+
+}  // namespace
+
+void DynThreshStrategy::setup(FleetSim& sim) {
+  const auto n = static_cast<std::size_t>(sim.num_vehicles());
+  refs_.assign(n, {});
+  for (std::size_t v = 0; v < n; ++v) {
+    const auto p = sim.node(static_cast<int>(v)).model.params();
+    refs_[v].assign(p.begin(), p.end());
+  }
+  div_.assign(n, 0.0);
+  dirty_.assign(n, 0);
+}
+
+void DynThreshStrategy::local_train(FleetSim& sim, int v) {
+  sim.default_local_train(v);
+  dirty_[static_cast<std::size_t>(v)] = 1;
+}
+
+void DynThreshStrategy::on_tick(FleetSim& sim) {
+  // Sequential over ascending ids, like the other gossip strategies, so the
+  // initiate order (and thus every downstream RNG draw) is deterministic.
+  for (int a = 0; a < sim.num_vehicles(); ++a) {
+    if (!sim.is_idle(a)) continue;
+    const auto ia = static_cast<std::size_t>(a);
+    if (dirty_[ia] != 0) {
+      div_[ia] = rms_divergence(sim.node(a).model.params(), refs_[ia]);
+      dirty_[ia] = 0;
+    }
+    // The dynamic threshold: a vehicle inside the bound spends no bytes.
+    if (div_[ia] <= opts_.divergence_bound) continue;
+    int best = -1;
+    double best_d = 1e18;
+    for (const int b : sim.neighbors_in_range(a)) {
+      if (!sim.is_idle(b) || !sim.cooldown_passed(a, b)) continue;
+      const double d = sim.pair_distance(a, b);
+      if (d < best_d) {
+        best_d = d;
+        best = b;
+      }
+    }
+    if (best >= 0) start_exchange(sim, a, best);
+  }
+}
+
+void DynThreshStrategy::aggregate(FleetSim& sim, int receiver, int sender,
+                                  const std::vector<float>& peer_params,
+                                  const std::vector<double>& sender_comp) {
+  (void)sender_comp;
+  auto params = sim.node(receiver).model.params();
+  const auto a = static_cast<float>(1.0 - opts_.pair_weight);
+  const auto b = static_cast<float>(opts_.pair_weight);
+  for (std::size_t k = 0; k < params.size(); ++k) {
+    params[k] = a * params[k] + b * peer_params[k];
+  }
+  // Resync: the merged model becomes the new reference, so the receiver goes
+  // quiet until local training drifts it past the bound again.
+  auto& ref = refs_[static_cast<std::size_t>(receiver)];
+  ref.assign(params.begin(), params.end());
+  div_[static_cast<std::size_t>(receiver)] = 0.0;
+  dirty_[static_cast<std::size_t>(receiver)] = 0;
+  sim.note_aggregate(receiver, sender, opts_.pair_weight);
+}
+
+void DynThreshStrategy::save_state(const FleetSim& sim, ByteWriter& w) const {
+  (void)sim;
+  w.write_f64(opts_.divergence_bound);
+  w.write_f64(opts_.pair_weight);
+  w.write_u32(static_cast<std::uint32_t>(refs_.size()));
+  for (const auto& ref : refs_) w.write_f32_vec(ref);
+  w.write_f64_vec(div_);
+  w.write_u32(static_cast<std::uint32_t>(dirty_.size()));
+  for (const char d : dirty_) w.write_u8(static_cast<std::uint8_t>(d));
+}
+
+void DynThreshStrategy::load_state(FleetSim& sim, ByteReader& r) {
+  if (r.read_f64() != opts_.divergence_bound || r.read_f64() != opts_.pair_weight) {
+    throw std::runtime_error{"DynThresh::load_state: options mismatch"};
+  }
+  const auto n = r.read_u32();
+  if (n != static_cast<std::uint32_t>(sim.num_vehicles())) {
+    throw std::runtime_error{"DynThresh::load_state: vehicle count mismatch"};
+  }
+  const std::size_t dim = sim.node(0).model.param_count();
+  refs_.assign(n, {});
+  for (auto& ref : refs_) {
+    ref = r.read_f32_vec();
+    if (ref.size() != dim) {
+      throw std::runtime_error{"DynThresh::load_state: reference size mismatch"};
+    }
+  }
+  div_ = r.read_f64_vec();
+  if (div_.size() != n) throw std::runtime_error{"DynThresh::load_state: divergence size mismatch"};
+  const auto nd = r.read_u32();
+  if (nd != n) throw std::runtime_error{"DynThresh::load_state: dirty size mismatch"};
+  dirty_.assign(nd, 0);
+  for (auto& d : dirty_) d = static_cast<char>(r.read_u8());
+}
+
+}  // namespace lbchat::baselines

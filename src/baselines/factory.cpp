@@ -3,43 +3,12 @@
 #include <stdexcept>
 #include <string>
 
-#include "baselines/dfl_dds.h"
-#include "baselines/dp.h"
-#include "baselines/proxskip.h"
-#include "baselines/rsul.h"
-#include "core/lbchat.h"
+#include "baselines/registry.h"
 
 namespace lbchat::baselines {
 
 std::unique_ptr<engine::Strategy> make_strategy(Approach approach) {
-  switch (approach) {
-    case Approach::kProxSkip:
-      return std::make_unique<ProxSkipStrategy>();
-    case Approach::kRsuL:
-      return std::make_unique<RsuStrategy>();
-    case Approach::kDflDds:
-      return std::make_unique<DflDdsStrategy>();
-    case Approach::kDp:
-      return std::make_unique<DpStrategy>();
-    case Approach::kLbChat:
-      return std::make_unique<core::LbChatStrategy>();
-    case Approach::kSco: {
-      core::LbChatOptions o;
-      o.share_model = false;
-      return std::make_unique<core::LbChatStrategy>(o);
-    }
-    case Approach::kLbChatEqualComp: {
-      core::LbChatOptions o;
-      o.adaptive_compression = false;
-      return std::make_unique<core::LbChatStrategy>(o);
-    }
-    case Approach::kLbChatAvgAgg: {
-      core::LbChatOptions o;
-      o.coreset_weighted_aggregation = false;
-      return std::make_unique<core::LbChatStrategy>(o);
-    }
-  }
-  throw std::invalid_argument{"make_strategy: unknown approach"};
+  return registry().make(approach_name(approach));
 }
 
 std::string_view approach_name(Approach approach) {
@@ -57,10 +26,7 @@ std::string_view approach_name(Approach approach) {
 }
 
 Approach approach_from_name(std::string_view name) {
-  for (const Approach a :
-       {Approach::kProxSkip, Approach::kRsuL, Approach::kDflDds, Approach::kDp,
-        Approach::kLbChat, Approach::kSco, Approach::kLbChatEqualComp,
-        Approach::kLbChatAvgAgg}) {
+  for (const Approach a : kAllApproaches) {
     if (approach_name(a) == name) return a;
   }
   throw std::invalid_argument{"approach_from_name: unknown approach '" + std::string{name} +

@@ -1,8 +1,12 @@
-// Factory for every approach evaluated in the paper, keyed by the names used
-// in its tables: ProxSkip, RSU-L, DFL-DDS, DP, LbChat, SCO, and the two
-// LbChat ablations.
+// Deprecated enum-keyed strategy factory, kept as a thin shim over the
+// string-keyed registry (baselines/registry.h) so the pre-registry bench
+// targets and tests compile unchanged. New code — the CLI, the fleet
+// service, new benches — should construct strategies through
+// registry().make(name, options) instead; the enum cannot name the
+// registry-only strategies (DynThresh, SimGossip) or carry options.
 #pragma once
 
+#include <array>
 #include <memory>
 #include <string_view>
 
@@ -19,6 +23,15 @@ enum class Approach {
   kSco,                 ///< share coresets only (§IV-G)
   kLbChatEqualComp,     ///< Table V ablation: equal compression ratios
   kLbChatAvgAgg,        ///< Table VI ablation: plain averaging aggregation
+};
+
+/// Every enum value, in paper-table order — the one place the list lives, so
+/// approach_from_name and the parameterized test suites cannot drift from
+/// the enum definition.
+inline constexpr std::array<Approach, 8> kAllApproaches{
+    Approach::kProxSkip, Approach::kRsuL,          Approach::kDflDds,
+    Approach::kDp,       Approach::kLbChat,        Approach::kSco,
+    Approach::kLbChatEqualComp, Approach::kLbChatAvgAgg,
 };
 
 [[nodiscard]] std::unique_ptr<engine::Strategy> make_strategy(Approach approach);

@@ -87,6 +87,12 @@ void hash_scenario(FnvHasher& h, const engine::ScenarioConfig& c) {
 
 std::uint64_t scenario_fingerprint(const engine::ScenarioConfig& cfg,
                                    std::string_view approach) {
+  return scenario_fingerprint(cfg, approach, {});
+}
+
+std::uint64_t scenario_fingerprint(const engine::ScenarioConfig& cfg,
+                                   std::string_view approach,
+                                   std::span<const StrategyOptionKv> options) {
   FnvHasher h;
   h.add(approach);
   // Protocol revision salt for the LbChat-family strategies (phi sampling +
@@ -96,6 +102,16 @@ std::uint64_t scenario_fingerprint(const engine::ScenarioConfig& cfg,
     h.add(std::string_view{"lbchat-proto-v3"});
   }
   hash_scenario(h, cfg);
+  // Conditional tail: a strategy running on its schema defaults hashes
+  // exactly like one whose options were never mentioned, so the registry's
+  // existence cannot split cache keys for default-configured runs.
+  if (!options.empty()) {
+    h.add(std::string_view{"strategy-options-v1"});
+    for (const StrategyOptionKv& kv : options) {
+      h.add(std::string_view{kv.key});
+      h.add(kv.value);
+    }
+  }
   return h.digest();
 }
 

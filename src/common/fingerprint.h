@@ -17,6 +17,7 @@
 
 #include <cstdint>
 #include <span>
+#include <string>
 #include <string_view>
 
 #include "common/bytes.h"
@@ -70,5 +71,23 @@ inline constexpr std::uint32_t kScenarioFingerprintVersion = 3;
 /// layer's existence cannot split cache keys for non-adversarial runs.
 [[nodiscard]] std::uint64_t scenario_fingerprint(const engine::ScenarioConfig& cfg,
                                                  std::string_view approach);
+
+/// One canonical (non-default, schema-validated) strategy option as it enters
+/// the fingerprint. Produced by baselines::StrategyRegistry::
+/// fingerprint_options — sorted by key, defaults dropped — so two spellings
+/// of the same configuration hash identically.
+struct StrategyOptionKv {
+  std::string key;
+  double value = 0.0;
+};
+
+/// Options-aware fingerprint: identical to the two-argument overload when
+/// `options` is empty (default-configured strategies keep their historical
+/// cache keys, bench goldens and svc ResultCache entries alike); non-default
+/// options enter via a marked conditional tail, the same trick as the
+/// adversary tail above and the checkpoint 0x5C/0xAD section markers.
+[[nodiscard]] std::uint64_t scenario_fingerprint(const engine::ScenarioConfig& cfg,
+                                                 std::string_view approach,
+                                                 std::span<const StrategyOptionKv> options);
 
 }  // namespace lbchat

@@ -112,11 +112,22 @@ bool parse_job_spec(std::string_view text, JobSpec& out, std::string& error) {
 
   for (const auto& [key, value] : root->members()) {
     const JsonValue& v = *value;
-    if (key == "approach") {
+    if (key == "strategy" || key == "approach") {
+      // "approach" is the pre-registry spelling; both name the registry key.
       if (!v.is_string()) {
-        ctx.fail("\"approach\" must be a string");
+        ctx.fail("\"" + key + "\" must be a string");
       } else {
         out.approach_name = v.as_string();
+      }
+    } else if (key == "strategy_options") {
+      if (!v.is_object()) {
+        ctx.fail("\"strategy_options\" must be an object");
+      } else {
+        for (const auto& [opt_key, opt_value] : v.members()) {
+          double opt_num = 0.0;
+          if (!want_number(ctx, "strategy_options." + opt_key, *opt_value, opt_num)) break;
+          out.options.set(opt_key, opt_num);
+        }
       }
     } else if (key == "name") {
       if (!v.is_string()) {
@@ -215,8 +226,14 @@ bool parse_job_spec(std::string_view text, JobSpec& out, std::string& error) {
     if (!ctx.ok) return false;
   }
 
+  if (!baselines::registry().contains(out.approach_name)) {
+    error = "unknown strategy '" + out.approach_name + "'";
+    return false;
+  }
+  // Validate option keys against the strategy's schema now, so a typo fails
+  // the submission instead of the worker.
   try {
-    out.approach = baselines::approach_from_name(out.approach_name);
+    (void)baselines::registry().fingerprint_options(out.approach_name, out.options);
   } catch (const std::invalid_argument& e) {
     error = e.what();
     return false;
@@ -240,7 +257,8 @@ bool parse_job_spec(std::string_view text, JobSpec& out, std::string& error) {
 }
 
 std::uint64_t job_fingerprint(const JobSpec& spec) {
-  const std::uint64_t base = scenario_fingerprint(spec.cfg, spec.approach_name);
+  const auto opts = baselines::registry().fingerprint_options(spec.approach_name, spec.options);
+  const std::uint64_t base = scenario_fingerprint(spec.cfg, spec.approach_name, opts);
   if (!spec.events) return base;
   // An events job additionally exports events.jsonl, so its payload differs
   // from the plain job's — it must not share a cache entry.

@@ -1,28 +1,33 @@
-// Job specs for the fleet service: a JSON object naming an approach and a
+// Job specs for the fleet service: a JSON object naming a strategy and a
 // scenario configuration, mirroring the lbchat_sim_cli flag surface.
 //
-//   {"approach":"LbChat","vehicles":8,"duration":900,"seed":3,
+//   {"strategy":"DynThresh","vehicles":8,"duration":900,"seed":3,
+//    "strategy_options":{"divergence_bound":2e-4},
 //    "priority":1,"events":true,
 //    "faults":{"burst_rate_per_min":0.5,"chat_backoff":true}}
 //
-// Unknown keys are a hard parse error (a typo'd knob must not silently run
-// the default scenario). parse_job_spec keeps the original spec text so a
-// persisted job round-trips byte-identically through the state directory.
+// "approach" is accepted as a legacy alias of "strategy" (pre-registry specs
+// persist in state directories and CI). Unknown keys, unknown strategy
+// names, and option keys absent from the strategy's registry schema are hard
+// parse errors (a typo'd knob must not silently run the default).
+// parse_job_spec keeps the original spec text so a persisted job round-trips
+// byte-identically through the state directory.
 #pragma once
 
 #include <cstdint>
 #include <string>
 #include <string_view>
 
-#include "baselines/factory.h"
+#include "baselines/registry.h"
 #include "engine/scenario.h"
 
 namespace lbchat::svc {
 
 struct JobSpec {
   engine::ScenarioConfig cfg{};
-  baselines::Approach approach = baselines::Approach::kLbChat;
   std::string approach_name{"LbChat"};
+  /// Per-strategy tunables, validated against the registry schema at parse.
+  baselines::StrategyOptions options{};
   /// Optional human label echoed in status/manifest output.
   std::string name;
   /// Higher runs earlier; ties broken by submission order.

@@ -444,7 +444,8 @@ void FleetService::run_job(std::unique_lock<std::mutex>& lk, Job& job, int wid) 
   double reached = 0.0;
 
   try {
-    engine::JobRunner runner{spec.cfg, baselines::make_strategy(spec.approach)};
+    engine::JobRunner runner{spec.cfg,
+                             baselines::registry().make(spec.approach_name, spec.options)};
     if (!ckpt.empty()) {
       const auto st = runner.resume(ckpt);
       if (st != engine::CkptStatus::kOk) {

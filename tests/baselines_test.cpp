@@ -1,12 +1,14 @@
-// Tests for the benchmark strategies: ProxSkip, RSU-L, DFL-DDS, DP, the
-// factory, and their aggregation rules.
+// Tests for the benchmark strategies: ProxSkip, RSU-L, DFL-DDS, DP,
+// DynThresh, SimGossip, the factory, and their aggregation rules.
 #include <gtest/gtest.h>
 
 #include "baselines/dfl_dds.h"
 #include "baselines/dp.h"
+#include "baselines/dyn_thresh.h"
 #include "baselines/factory.h"
 #include "baselines/proxskip.h"
 #include "baselines/rsul.h"
+#include "baselines/sim_gossip.h"
 #include "engine/fleet.h"
 
 namespace lbchat::baselines {
@@ -28,10 +30,7 @@ engine::ScenarioConfig small_scenario() {
 // ---------------------------------------------------------------- factory
 
 TEST(FactoryTest, NamesRoundtrip) {
-  for (const Approach a :
-       {Approach::kProxSkip, Approach::kRsuL, Approach::kDflDds, Approach::kDp,
-        Approach::kLbChat, Approach::kSco, Approach::kLbChatEqualComp,
-        Approach::kLbChatAvgAgg}) {
+  for (const Approach a : kAllApproaches) {
     EXPECT_EQ(approach_from_name(approach_name(a)), a);
     const auto strategy = make_strategy(a);
     ASSERT_NE(strategy, nullptr);
@@ -168,6 +167,79 @@ TEST(DpTest, DeterministicAcrossRuns) {
   engine::FleetSim a{cfg, std::make_unique<DpStrategy>()};
   engine::FleetSim b{cfg, std::make_unique<DpStrategy>()};
   EXPECT_EQ(a.run().final_params[0], b.run().final_params[0]);
+}
+
+// ---------------------------------------------------------------- DynThresh
+
+TEST(DynThreshTest, DivergenceBoundGatesCommunication) {
+  auto cfg = small_scenario();
+  cfg.duration_s = 240.0;
+  // A bound no RMS drift will ever reach: every vehicle stays silent.
+  DynThreshOptions quiet;
+  quiet.divergence_bound = 1e6;
+  engine::FleetSim silent{cfg, std::make_unique<DynThreshStrategy>(quiet)};
+  const auto m_silent = silent.run();
+  EXPECT_EQ(m_silent.transfers.sessions_started, 0);
+  EXPECT_EQ(m_silent.transfers.bytes_delivered, 0u);
+
+  // A bound every training step crosses: the DP cadence, models only.
+  DynThreshOptions chatty;
+  chatty.divergence_bound = 1e-9;
+  engine::FleetSim busy{cfg, std::make_unique<DynThreshStrategy>(chatty)};
+  const auto m_busy = busy.run();
+  EXPECT_GT(m_busy.transfers.sessions_started, 0);
+  EXPECT_EQ(m_busy.transfers.coreset_sends_started, 0);
+  EXPECT_LT(m_busy.loss_curve.values.back(), m_busy.loss_curve.values.front());
+}
+
+TEST(DynThreshTest, ResyncResetsDivergence) {
+  auto cfg = small_scenario();
+  cfg.duration_s = 240.0;
+  DynThreshOptions opts;
+  opts.divergence_bound = 1e-9;  // force frequent resyncs
+  auto strategy = std::make_unique<DynThreshStrategy>(opts);
+  auto* raw = strategy.get();
+  engine::FleetSim sim{cfg, std::move(strategy)};
+  const auto m = sim.run();
+  ASSERT_GT(m.transfers.model_sends_completed, 0) << "no resync ever completed";
+  // The cached divergence is finite and non-negative for every vehicle, and
+  // after a run with resyncs it is the drift since the last sync, not the
+  // whole training history.
+  for (int v = 0; v < cfg.num_vehicles; ++v) {
+    EXPECT_GE(raw->divergence(v), 0.0);
+    EXPECT_LT(raw->divergence(v), 1.0);
+  }
+}
+
+// ---------------------------------------------------------------- SimGossip
+
+TEST(SimGossipTest, SimilarityWeightIsMonotoneAndBounded) {
+  const SimGossipStrategy s;
+  // Identical models blend 50/50; weight decays monotonically as the cosine
+  // falls away and never exceeds the plain-averaging cap.
+  EXPECT_NEAR(s.weight_for_similarity(1.0), 0.5, 1e-12);
+  double prev = 0.5;
+  for (double c = 0.95; c >= -1.0; c -= 0.05) {
+    const double w = s.weight_for_similarity(c);
+    EXPECT_LT(w, prev) << "cosine " << c;
+    EXPECT_GT(w, 0.0);
+    prev = w;
+  }
+  // Temperature controls the softness: hotter = closer to plain averaging.
+  SimGossipOptions hot;
+  hot.temperature = 100.0;
+  const SimGossipStrategy soft{hot};
+  EXPECT_GT(soft.weight_for_similarity(0.0), 0.49);
+}
+
+TEST(SimGossipTest, GossipExchangesAndImproves) {
+  auto cfg = small_scenario();
+  cfg.duration_s = 240.0;
+  engine::FleetSim sim{cfg, std::make_unique<SimGossipStrategy>()};
+  const auto m = sim.run();
+  EXPECT_GT(m.transfers.model_sends_started, 0);
+  EXPECT_EQ(m.transfers.coreset_sends_started, 0);  // models only
+  EXPECT_LT(m.loss_curve.values.back(), m.loss_curve.values.front());
 }
 
 // ------------------------------------------------- cross-strategy sanity

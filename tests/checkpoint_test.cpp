@@ -12,7 +12,7 @@
 
 #include <gtest/gtest.h>
 
-#include "baselines/factory.h"
+#include "baselines/registry.h"
 #include "common/bytes.h"
 #include "common/frame.h"
 #include "common/rng.h"
@@ -67,8 +67,9 @@ engine::ScenarioConfig tiny_cfg(std::uint64_t seed, bool faults, int vehicles = 
   return cfg;
 }
 
-FleetSim make_sim(const engine::ScenarioConfig& cfg, const char* approach) {
-  return FleetSim{cfg, baselines::make_strategy(baselines::approach_from_name(approach))};
+FleetSim make_sim(const engine::ScenarioConfig& cfg, const char* approach,
+                  const baselines::StrategyOptions& options = {}) {
+  return FleetSim{cfg, baselines::registry().make(approach, options)};
 }
 
 std::vector<std::uint8_t> checkpoint_of(const FleetSim& sim) {
@@ -242,6 +243,36 @@ TEST(CheckpointRestore, ResumeContractDp) { expect_resume_contract("DP", 5, 1); 
 TEST(CheckpointRestore, ResumeContractDflDds) { expect_resume_contract("DFL-DDS", 9, 1); }
 TEST(CheckpointRestore, ResumeContractProxSkip) { expect_resume_contract("ProxSkip", 13, 1); }
 TEST(CheckpointRestore, ResumeContractRsuL) { expect_resume_contract("RSU-L", 17, 1); }
+TEST(CheckpointRestore, ResumeContractDynThresh) { expect_resume_contract("DynThresh", 23, 1); }
+TEST(CheckpointRestore, ResumeContractDynThresh4Threads) {
+  expect_resume_contract("DynThresh", 23, 4);
+}
+TEST(CheckpointRestore, ResumeContractSimGossip) { expect_resume_contract("SimGossip", 27, 1); }
+TEST(CheckpointRestore, ResumeContractSimGossip4Threads) {
+  expect_resume_contract("SimGossip", 27, 4);
+}
+
+/// Thread bit-identity for the new registry strategies: the same faulted
+/// scenario at 1 and 4 lanes must produce bit-identical curves (DynThresh's
+/// divergence cache is refreshed on the sequential tick, so lane count cannot
+/// leak into its chat decisions).
+void expect_thread_bit_identity(const char* approach, std::uint64_t seed) {
+  auto cfg = tiny_cfg(seed, /*faults=*/true);
+  cfg.num_threads = 1;
+  auto one = make_sim(cfg, approach);
+  const auto m_one = one.run();
+  cfg.num_threads = 4;
+  auto four = make_sim(cfg, approach);
+  const auto m_four = four.run();
+  EXPECT_EQ(curve_bits(m_one), curve_bits(m_four)) << approach;
+}
+
+TEST(CheckpointDeterminism, DynThreshThreadBitIdentity) {
+  expect_thread_bit_identity("DynThresh", 37);
+}
+TEST(CheckpointDeterminism, SimGossipThreadBitIdentity) {
+  expect_thread_bit_identity("SimGossip", 41);
+}
 
 void expect_exports_survive_resume(int threads) {
   auto cfg = tiny_cfg(21, /*faults=*/true);
@@ -353,6 +384,31 @@ TEST(CheckpointReject, StrategyMismatch) {
   auto other = make_sim(cfg, "LbChat");
   ByteReader r{bytes};
   EXPECT_EQ(other.restore(r), CkptStatus::kStrategyMismatch);
+}
+
+TEST(CheckpointReject, StrategyOptionsMismatch) {
+  // The new strategies echo their options into the strategy section; a
+  // checkpoint must not silently resume under a different tuning (the gating
+  // decisions would diverge from the saved run's history).
+  const auto cfg = tiny_cfg(2, false);
+  for (const char* name : {"DynThresh", "SimGossip"}) {
+    auto sim = make_sim(cfg, name);
+    sim.prepare();
+    sim.run_until(5.0);
+    const auto bytes = checkpoint_of(sim);
+
+    baselines::StrategyOptions retuned;
+    retuned.set(std::strcmp(name, "DynThresh") == 0 ? "divergence_bound" : "temperature",
+                0.123);
+    auto other = make_sim(cfg, name, retuned);
+    ByteReader r{bytes};
+    EXPECT_EQ(other.restore(r), CkptStatus::kMalformed) << name;
+
+    // Same options restore fine.
+    auto same = make_sim(cfg, name);
+    ByteReader r2{bytes};
+    EXPECT_EQ(same.restore(r2), CkptStatus::kOk) << name;
+  }
 }
 
 TEST(CheckpointReject, BadVersion) {

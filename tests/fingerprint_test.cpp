@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <string_view>
+#include <vector>
 
 #include "common/fingerprint.h"
 #include "engine/scenario.h"
@@ -97,6 +98,26 @@ TEST(ScenarioFingerprintTest, InertRobustnessLayerDoesNotSplitKeys) {
   engine::ScenarioConfig c = base;
   c.adversary.poison_scale = 99.0;  // ignored while byzantine_frac == 0
   EXPECT_EQ(scenario_fingerprint(c, "LbChat"), scenario_fingerprint(base, "LbChat"));
+}
+
+TEST(ScenarioFingerprintTest, EmptyOptionsKeepLegacyKeys) {
+  // The options tail is conditional: no options (the pre-registry world)
+  // hashes byte-identically to the 2-arg overload, so every cached result on
+  // disk keeps its key across the registry migration.
+  const engine::ScenarioConfig cfg;
+  EXPECT_EQ(scenario_fingerprint(cfg, "LbChat", {}), scenario_fingerprint(cfg, "LbChat"));
+  EXPECT_EQ(scenario_fingerprint(cfg, "LbChat", {}), 0xB64685EC8CDC8984ull);
+}
+
+TEST(ScenarioFingerprintTest, NonDefaultOptionsSplitKeys) {
+  const engine::ScenarioConfig cfg;
+  const std::vector<StrategyOptionKv> opts{{"divergence_bound", 2e-4}};
+  const std::uint64_t with = scenario_fingerprint(cfg, "DynThresh", opts);
+  EXPECT_NE(with, scenario_fingerprint(cfg, "DynThresh"));
+
+  // Key order and values both matter.
+  const std::vector<StrategyOptionKv> opts2{{"divergence_bound", 3e-4}};
+  EXPECT_NE(scenario_fingerprint(cfg, "DynThresh", opts2), with);
 }
 
 }  // namespace

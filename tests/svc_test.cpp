@@ -152,7 +152,7 @@ TEST(JobSpecTest, ParsesFullSpec) {
   JobSpec spec;
   std::string err;
   ASSERT_TRUE(parse_job_spec(tiny_spec(7, R"("priority":3,"events":true)"), spec, err)) << err;
-  EXPECT_EQ(spec.approach, baselines::Approach::kLbChat);
+  EXPECT_EQ(spec.approach_name, "LbChat");
   EXPECT_EQ(spec.name, "tiny");
   EXPECT_EQ(spec.priority, 3);
   EXPECT_TRUE(spec.events);
@@ -177,6 +177,49 @@ TEST(JobSpecTest, RejectsUnknownAndInvalid) {
   EXPECT_FALSE(parse_job_spec(R"({"faults":{"burst_rate":1}})", spec, err));
   EXPECT_FALSE(parse_job_spec(R"([1,2])", spec, err));
   EXPECT_FALSE(parse_job_spec("not json", spec, err));
+}
+
+TEST(JobSpecTest, StrategyKeyAndOptionsParse) {
+  // "strategy" is the registry-keyed spelling; "approach" stays accepted for
+  // pre-registry specs. Options are validated against the registry schema.
+  JobSpec spec;
+  std::string err;
+  ASSERT_TRUE(parse_job_spec(
+      R"({"strategy":"DynThresh","vehicles":4,"duration":40,)"
+      R"("strategy_options":{"divergence_bound":2e-4,"pair_weight":0.5}})",
+      spec, err))
+      << err;
+  EXPECT_EQ(spec.approach_name, "DynThresh");
+  EXPECT_DOUBLE_EQ(spec.options.get_or("divergence_bound", -1.0), 2e-4);
+
+  EXPECT_FALSE(parse_job_spec(R"({"strategy":"NoSuch"})", spec, err));
+  EXPECT_NE(err.find("NoSuch"), std::string::npos);
+  EXPECT_FALSE(parse_job_spec(
+      R"({"strategy":"DynThresh","vehicles":4,"duration":40,)"
+      R"("strategy_options":{"divergence_bond":1.0}})",
+      spec, err))
+      << "typo'd option key must fail the submission";
+  EXPECT_NE(err.find("divergence_bond"), std::string::npos);
+  EXPECT_FALSE(parse_job_spec(
+      R"({"strategy":"DynThresh","strategy_options":{"divergence_bound":"x"}})", spec, err));
+}
+
+TEST(JobSpecTest, FingerprintSplitsOnNonDefaultOptionsOnly) {
+  JobSpec plain;
+  JobSpec defaults;
+  JobSpec custom;
+  std::string err;
+  const std::string base = R"("strategy":"DynThresh","vehicles":4,"duration":40)";
+  ASSERT_TRUE(parse_job_spec("{" + base + "}", plain, err)) << err;
+  ASSERT_TRUE(parse_job_spec(
+      "{" + base + R"(,"strategy_options":{"divergence_bound":1.5e-2}})", defaults, err))
+      << err;
+  ASSERT_TRUE(parse_job_spec(
+      "{" + base + R"(,"strategy_options":{"divergence_bound":2e-4}})", custom, err))
+      << err;
+  // Explicit schema defaults canonicalize away; a real tuning splits the key.
+  EXPECT_EQ(job_fingerprint(plain), job_fingerprint(defaults));
+  EXPECT_NE(job_fingerprint(plain), job_fingerprint(custom));
 }
 
 TEST(JobSpecTest, FingerprintSplitsOnEventsButNotPreemptAt) {
@@ -280,6 +323,37 @@ TEST(FleetServiceTest, SubmitRunsAndProducesPayload) {
             payload.report_json);
   EXPECT_EQ(slurp(std::filesystem::path{status.output_dir} / "manifest.json"),
             payload.manifest_json);
+  service.shutdown(false);
+  std::filesystem::remove_all(root);
+}
+
+TEST(FleetServiceTest, RegistryStrategyRunsThroughService) {
+  // A registry-only strategy (no Approach enum value) with non-default
+  // options must run end to end through the job server; the options split
+  // the cache key from the default-configured run.
+  const auto root = fresh_dir("dynthresh");
+  FleetService service{tiny_options(root, 1)};
+  const std::string spec = R"({"strategy":"DynThresh","name":"dt","vehicles":4,)"
+                           R"("duration":40,"collect_duration":20,"collect_fps":1,)"
+                           R"("eval_frames":2,"background_cars":4,"pedestrians":6,)"
+                           R"("eval_interval":10,"train_interval":2,"batch_size":4,)"
+                           R"("coreset":12,"seed":7,)"
+                           R"("strategy_options":{"divergence_bound":1e-3}})";
+  const JobStatus status = submit_and_wait(service, spec);
+  ASSERT_EQ(status.state, JobState::kDone) << status.error;
+  JobPayload payload;
+  std::string error;
+  ASSERT_TRUE(service.result(status.id, payload, error)) << error;
+  EXPECT_NE(payload.manifest_json.find("DynThresh"), std::string::npos);
+
+  // Same spec: cache hit. Different bound: a fresh run.
+  const JobStatus again = submit_and_wait(service, spec);
+  EXPECT_TRUE(again.cached);
+  std::string retuned = spec;
+  retuned.replace(retuned.find("1e-3"), 4, "2e-3");
+  const JobStatus other = submit_and_wait(service, retuned);
+  ASSERT_EQ(other.state, JobState::kDone) << other.error;
+  EXPECT_FALSE(other.cached);
   service.shutdown(false);
   std::filesystem::remove_all(root);
 }
