@@ -8,6 +8,7 @@
 #include "common/bytes.h"
 #include "common/fingerprint.h"
 #include "common/rng.h"
+#include "nn/kernel_dispatch.h"
 #include "engine/report.h"
 #include "obs/export.h"
 #include "obs/obs.h"
@@ -183,9 +184,11 @@ std::uint64_t run_fingerprint(const engine::ScenarioConfig& cfg, std::string_vie
   // hash this harness historically computed, so pre-existing .bench_cache
   // entries keep their keys; the svc ResultCache derives its keys from the
   // same function. Non-default strategy options enter only via the
-  // conditional tail, so default-configured runs keep their keys too.
-  return scenario_fingerprint(cfg, strategy,
-                              baselines::registry().fingerprint_options(strategy, options));
+  // conditional tail, so default-configured runs keep their keys too. The
+  // kernel-path salt is identity on the scalar path (the backend every
+  // historical entry was produced by), so only SIMD runs get fresh keys.
+  return nn::salt_with_kernel_path(scenario_fingerprint(
+      cfg, strategy, baselines::registry().fingerprint_options(strategy, options)));
 }
 
 std::uint64_t run_fingerprint(const engine::ScenarioConfig& cfg,

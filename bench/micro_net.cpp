@@ -16,6 +16,9 @@
 #include "net/contact.h"
 #include "net/spatial_index.h"
 #include "net/wireless.h"
+#include "nn/gemm.h"
+#include "nn/int8_policy.h"
+#include "nn/kernel_dispatch.h"
 #include "nn/optim.h"
 #include "nn/policy.h"
 #include "sim/world.h"
@@ -51,12 +54,12 @@ struct Row {
 };
 
 void print_rows(const std::vector<Row>& rows) {
-  std::printf("%-28s %12s %12s %9s\n", "op", "us/iter", "naive us", "speedup");
+  std::printf("%-34s %12s %12s %9s\n", "op", "us/iter", "naive us", "speedup");
   for (const auto& r : rows) {
     if (r.naive_us > 0.0) {
-      std::printf("%-28s %12.2f %12.2f %8.2fx\n", r.op.c_str(), r.us, r.naive_us, r.speedup());
+      std::printf("%-34s %12.2f %12.2f %8.2fx\n", r.op.c_str(), r.us, r.naive_us, r.speedup());
     } else {
-      std::printf("%-28s %12.2f %12s %9s\n", r.op.c_str(), r.us, "-", "-");
+      std::printf("%-34s %12.2f %12s %9s\n", r.op.c_str(), r.us, "-", "-");
     }
   }
 }
@@ -247,6 +250,145 @@ Row bench_contact_query() {
   return r;
 }
 
+std::vector<nn::KernelPath> available_paths() {
+  std::vector<nn::KernelPath> out{nn::KernelPath::kScalar};
+  if (nn::kernel_path_available(nn::KernelPath::kAvx2)) out.push_back(nn::KernelPath::kAvx2);
+  if (nn::kernel_path_available(nn::KernelPath::kNeon)) out.push_back(nn::KernelPath::kNeon);
+  return out;
+}
+
+std::string path_tag(nn::KernelPath p) {
+  return " [" + std::string{nn::kernel_path_name(p)} + "]";
+}
+
+/// Raw dispatched-GEMM rows, one per available backend, on the policy's two
+/// hottest shapes (conv2's im2col product and the fc layer at batch 32).
+/// Every variant runs the identical workload — same operands, same shape —
+/// so the rows differ only in the backend named in the op suffix; the naive
+/// triple loop is the shared twin.
+std::vector<Row> bench_gemm_paths() {
+  Rng data{12};
+  std::vector<Row> rows;
+  const struct {
+    const char* name;
+    int m, n, k;
+    void (*kernel)(nn::KernelPath, int, int, int, const float*, const float*, float*);
+    void (*naive)(int, int, int, const float*, const float*, float*);
+  } shapes[] = {
+      {"sgemm_16x16x72", 16, 16, 72, nn::sgemm_on, nn::naive_sgemm},
+      {"sgemm_abt_32x64x256", 32, 64, 256, nn::sgemm_abt_on, nn::naive_sgemm_abt},
+  };
+  for (const auto& s : shapes) {
+    std::vector<float> a(static_cast<std::size_t>(s.m) * s.k);
+    std::vector<float> b(static_cast<std::size_t>(s.k) * s.n);
+    std::vector<float> c(static_cast<std::size_t>(s.m) * s.n, 0.0f);
+    fill_random(a, data);
+    fill_random(b, data);
+    const double naive_us =
+        us_per_iter([&] { s.naive(s.m, s.n, s.k, a.data(), b.data(), c.data()); }, 50.0);
+    for (const nn::KernelPath p : available_paths()) {
+      rows.push_back({std::string{s.name} + path_tag(p),
+                      us_per_iter(
+                          [&, p] { s.kernel(p, s.m, s.n, s.k, a.data(), b.data(), c.data()); },
+                          50.0),
+                      naive_us});
+    }
+  }
+  return rows;
+}
+
+/// Integer GEMM rows (the int8 eval path's kernel), fc-shaped at batch 32.
+std::vector<Row> bench_igemm_paths() {
+  Rng data{13};
+  const int m = 32, n = 64, k = 256;
+  std::vector<std::int8_t> a(static_cast<std::size_t>(m) * k);
+  std::vector<std::int8_t> b(static_cast<std::size_t>(n) * k);
+  std::vector<std::int32_t> c(static_cast<std::size_t>(m) * n, 0);
+  for (auto& x : a) x = static_cast<std::int8_t>(static_cast<long>(data.next_u64() % 255) - 127);
+  for (auto& x : b) x = static_cast<std::int8_t>(static_cast<long>(data.next_u64() % 255) - 127);
+  const double naive_us =
+      us_per_iter([&] { nn::naive_igemm_abt(m, n, k, a.data(), b.data(), c.data()); }, 50.0);
+  std::vector<Row> rows;
+  for (const nn::KernelPath p : available_paths()) {
+    rows.push_back({"igemm_abt_32x64x256" + path_tag(p),
+                    us_per_iter(
+                        [&, p] { nn::igemm_abt_on(p, m, n, k, a.data(), b.data(), c.data()); },
+                        50.0),
+                    naive_us});
+  }
+  // u8s8 variant on the same B and non-negative A codes (the activation
+  // contract); the naive twin stays the signed oracle — exact on such inputs.
+  for (auto& x : a) x = static_cast<std::int8_t>(data.next_u64() % 128);
+  const double naive_u_us =
+      us_per_iter([&] { nn::naive_igemm_abt(m, n, k, a.data(), b.data(), c.data()); }, 50.0);
+  for (const nn::KernelPath p : available_paths()) {
+    rows.push_back(
+        {"igemm_abt_u8s8_32x64x256" + path_tag(p),
+         us_per_iter(
+             [&, p] { nn::igemm_abt_u8s8_on(p, m, n, k, a.data(), b.data(), c.data()); },
+             50.0),
+         naive_u_us});
+  }
+  return rows;
+}
+
+/// Full-policy inference per backend plus the int8 forward path: the same
+/// frame through the same weights every time. The scalar fp32 row is the
+/// naive twin for the other fp32 backends; the active-path fp32 time is the
+/// twin for int8, so its speedup column reads "int8 vs fp32 on this machine".
+std::vector<Row> bench_policy_predict_paths() {
+  sim::World world{sim::WorldConfig{}, 1, 9};
+  world.step(0.5);
+  const auto sample = world.collect_sample(0, 1);
+  nn::DrivingPolicy model;
+  const nn::Int8Policy qmodel{model};
+  volatile float sink = 0.0f;
+
+  std::vector<Row> rows;
+  double scalar_us = 0.0;
+  double best_fp32_us = 0.0;
+  for (const nn::KernelPath p : available_paths()) {
+    nn::ScopedKernelPath guard{p};
+    const double us = us_per_iter([&] {
+      const auto wp = model.predict(sample.bev, sample.command);
+      sink = sink + wp[0];
+    });
+    if (p == nn::KernelPath::kScalar) scalar_us = us;
+    best_fp32_us = us;
+    rows.push_back({"policy_predict" + path_tag(p), us,
+                    p == nn::KernelPath::kScalar ? -1.0 : scalar_us});
+  }
+  {
+    // int8 runs its integer kernel on the best path (what --int8-eval does).
+    nn::ScopedKernelPath guard{nn::best_kernel_path()};
+    rows.push_back({"policy_predict_int8" + path_tag(nn::best_kernel_path()),
+                    us_per_iter([&] {
+                      const auto wp = qmodel.predict(sample.bev, sample.command);
+                      sink = sink + wp[0];
+                    }),
+                    best_fp32_us});
+  }
+  return rows;
+}
+
+/// The eval-sweep composite the engine actually runs per vehicle: quantize a
+/// snapshot + weighted_loss over 64 frames, vs the fp32 weighted_loss.
+Row bench_eval_loss_int8() {
+  sim::World world{sim::WorldConfig{}, 1, 9};
+  std::vector<data::Sample> samples;
+  for (std::size_t f = 0; f < 64; ++f) {
+    world.step(0.5);
+    samples.push_back(world.collect_sample(0, f));
+  }
+  nn::DrivingPolicy model;
+  volatile double sink = 0.0;
+  return {"eval_loss64_int8", us_per_iter([&] {
+            const nn::Int8Policy q{model};
+            sink = sink + q.weighted_loss(samples);
+          }),
+          us_per_iter([&] { sink = sink + model.weighted_loss(samples); })};
+}
+
 Row bench_bev_render() {
   sim::World world{sim::WorldConfig{}, 4, 9};
   for (int i = 0; i < 40; ++i) world.step(0.5);
@@ -268,6 +410,10 @@ int main() {
   for (auto& r : bench_linear(32)) rows.push_back(std::move(r));
   rows.push_back(bench_policy_train());
   rows.push_back(bench_policy_predict());
+  for (auto& r : bench_gemm_paths()) rows.push_back(std::move(r));
+  for (auto& r : bench_igemm_paths()) rows.push_back(std::move(r));
+  for (auto& r : bench_policy_predict_paths()) rows.push_back(std::move(r));
+  rows.push_back(bench_eval_loss_int8());
   rows.push_back(bench_transfer_tick());
   rows.push_back(bench_contact_estimate());
   rows.push_back(bench_contact_query());

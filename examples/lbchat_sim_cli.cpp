@@ -6,6 +6,7 @@
 //   lbchat_sim_cli [--strategy NAME] [--strategy-opt KEY=VALUE]...
 //                  [--list-strategies] [--vehicles N] [--duration S]
 //                  [--coreset N] [--seed N] [--no-wireless-loss] [--eval]
+//                  [--kernel auto|scalar|avx2|neon] [--int8-eval]
 //                  [--byzantine-frac F] [--straggler-frac F]
 //                  [--trace-out F] [--events-out F] [--metrics-out F]
 //                  [--report-out F] [--checkpoint-out F] [--resume-from F]
@@ -26,6 +27,7 @@
 #include "engine/fleet.h"
 #include "engine/report.h"
 #include "eval/online.h"
+#include "nn/kernel_dispatch.h"
 #include "obs/export.h"
 #include "obs/obs.h"
 
@@ -39,6 +41,7 @@ void usage() {
                "                      [--num-vehicles N] [--collect-duration S]\n"
                "                      [--coreset N] [--seed N] [--threads N]\n"
                "                      [--no-wireless-loss] [--eval]\n"
+               "                      [--kernel auto|scalar|avx2|neon] [--int8-eval]\n"
                "                      [--byzantine-frac F] [--straggler-frac F]\n"
                "                      [--trace-out FILE] [--events-out FILE]\n"
                "                      [--metrics-out FILE] [--report-out FILE]\n"
@@ -50,6 +53,14 @@ void usage() {
                "  --threads N       worker lanes for per-vehicle training/eval\n"
                "                    (0 = all hardware threads, 1 = sequential;\n"
                "                    results are bit-identical for any value)\n"
+               "  --kernel NAME     GEMM backend: auto (default; best available),\n"
+               "                    scalar (bit-reproduces committed goldens),\n"
+               "                    avx2, neon; errors if NAME is unavailable on\n"
+               "                    this build/CPU (LBCHAT_KERNEL is the env\n"
+               "                    equivalent, with warn-and-fallback instead)\n"
+               "  --int8-eval       score coreset values and eval losses with the\n"
+               "                    int8-quantized forward path (training stays\n"
+               "                    fp32); changes run numerics + fingerprint\n"
                "  --num-vehicles N  metro scaling: grow the fleet to N while the\n"
                "                    town tiles to keep vehicle density constant,\n"
                "                    and switch on the spatial index, snapshot\n"
@@ -181,6 +192,22 @@ int main(int argc, char** argv) {
       cfg.hetero.straggler_frac = frac;
       cfg.hetero.slow_radio_frac = frac;
       cfg.hetero.dataset_skew = frac > 0.0 ? 0.5 : 0.0;
+    } else if (std::strcmp(argv[i], "--kernel") == 0) {
+      const std::string name = need_value("--kernel");
+      if (name != "auto") {
+        const auto parsed = nn::parse_kernel_path(name);
+        if (!parsed.has_value()) {
+          std::fprintf(stderr, "--kernel expects auto/scalar/avx2/neon, got '%s'\n", name.c_str());
+          return 2;
+        }
+        if (!nn::kernel_path_available(*parsed)) {
+          std::fprintf(stderr, "--kernel %s is not available on this build/CPU\n", name.c_str());
+          return 2;
+        }
+        nn::set_kernel_path(*parsed);
+      }
+    } else if (std::strcmp(argv[i], "--int8-eval") == 0) {
+      cfg.int8_eval.enabled = true;
     } else if (std::strcmp(argv[i], "--no-wireless-loss") == 0) {
       cfg.wireless_loss = false;
     } else if (std::strcmp(argv[i], "--eval") == 0) {
@@ -228,9 +255,11 @@ int main(int argc, char** argv) {
 
   std::printf(
       "approach=%s vehicles=%d duration=%.0fs coreset=%zu wireless_loss=%d seed=%llu "
-      "threads=%d\n",
+      "threads=%d kernel=%s int8_eval=%d\n",
       approach_name.c_str(), cfg.num_vehicles, cfg.duration_s, cfg.coreset_size,
-      cfg.wireless_loss ? 1 : 0, static_cast<unsigned long long>(cfg.seed), cfg.num_threads);
+      cfg.wireless_loss ? 1 : 0, static_cast<unsigned long long>(cfg.seed), cfg.num_threads,
+      std::string{nn::kernel_path_name(nn::active_kernel_path())}.c_str(),
+      cfg.int8_eval.enabled ? 1 : 0);
 
   // Tracing is opt-in: sim events feed every export; wall-clock spans are
   // only collected when the Chrome trace was requested (they appear nowhere

@@ -81,6 +81,14 @@ void hash_scenario(FnvHasher& h, const engine::ScenarioConfig& c) {
     h.add(c.hetero.dataset_skew);
     h.add(c.hetero.dataset_keep_min);
   }
+  // Int8-eval tail (same conditional pattern): the quantized eval changes
+  // loss trajectories, so an enabled knob must split cache keys — but a
+  // disabled one hashes exactly like a scenario that never mentions it.
+  if (c.int8_eval.enabled) {
+    h.add(std::string_view{"int8-eval-v1"});
+    h.add(c.int8_eval.value_scoring);
+    h.add(c.int8_eval.eval_loss);
+  }
 }
 
 }  // namespace

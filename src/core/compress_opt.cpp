@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "nn/int8_policy.h"
+
 namespace lbchat::core {
 
 coreset::Coreset subsample_coreset(const coreset::Coreset& c, std::size_t max_n) {
@@ -33,6 +35,13 @@ double normalized_coreset_loss(const nn::DrivingPolicy& model, const coreset::Co
   return coreset::evaluate_on_coreset(model, c, penalty) / mass;
 }
 
+double normalized_coreset_loss(const nn::Int8Policy& model, const coreset::Coreset& c,
+                               const coreset::PenaltyConfig& penalty) {
+  const double mass = c.total_weight();
+  if (mass <= 0.0) return 0.0;
+  return coreset::evaluate_on_coreset(model, c, penalty) / mass;
+}
+
 PhiMapping::PhiMapping(std::vector<double> psis, std::vector<double> losses)
     : psis_(std::move(psis)), losses_(std::move(losses)) {
   if (psis_.size() != losses_.size() || psis_.size() < 2) {
@@ -43,7 +52,7 @@ PhiMapping::PhiMapping(std::vector<double> psis, std::vector<double> losses)
 
 PhiMapping PhiMapping::build(const nn::DrivingPolicy& model, const coreset::Coreset& c,
                              const coreset::PenaltyConfig& penalty, std::span<const double> psis,
-                             std::size_t eval_cap) {
+                             std::size_t eval_cap, bool int8_eval) {
   const coreset::Coreset sub = subsample_coreset(c, eval_cap);
   std::vector<double> xs(psis.begin(), psis.end());
   std::vector<double> ys;
@@ -52,7 +61,9 @@ PhiMapping PhiMapping::build(const nn::DrivingPolicy& model, const coreset::Core
   for (const double psi : xs) {
     const nn::SparseModel sm = nn::compress_for_psi(model.params(), psi);
     compressed.set_params(sm.densify());
-    ys.push_back(normalized_coreset_loss(compressed, sub, penalty));
+    ys.push_back(int8_eval
+                     ? normalized_coreset_loss(nn::Int8Policy{compressed}, sub, penalty)
+                     : normalized_coreset_loss(compressed, sub, penalty));
   }
   return PhiMapping{std::move(xs), std::move(ys)};
 }

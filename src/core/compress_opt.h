@@ -37,6 +37,11 @@ namespace lbchat::core {
 [[nodiscard]] double normalized_coreset_loss(const nn::DrivingPolicy& model,
                                              const coreset::Coreset& c,
                                              const coreset::PenaltyConfig& penalty);
+/// Int8 twin (DESIGN.md §15): value scoring through a quantized snapshot of
+/// the model, used when ScenarioConfig::int8_eval.scores_values() is on.
+[[nodiscard]] double normalized_coreset_loss(const nn::Int8Policy& model,
+                                             const coreset::Coreset& c,
+                                             const coreset::PenaltyConfig& penalty);
 
 /// The psi -> predicted-loss mapping of one vehicle's model on one coreset.
 class PhiMapping {
@@ -48,11 +53,13 @@ class PhiMapping {
   static constexpr double kDefaultPsis[7] = {0.125, 0.25, 0.5, 0.75, 0.875, 0.95, 1.0};
 
   /// Compress `model` at each sample psi, evaluate on (a subsample of) `c`,
-  /// and fit the Akima interpolant.
+  /// and fit the Akima interpolant. With `int8_eval`, each compressed model
+  /// is evaluated through an int8 snapshot (the same estimator the chat's
+  /// value scoring uses when the int8 eval knob is on).
   static PhiMapping build(const nn::DrivingPolicy& model, const coreset::Coreset& c,
                           const coreset::PenaltyConfig& penalty,
                           std::span<const double> psis = kDefaultPsis,
-                          std::size_t eval_cap = 64);
+                          std::size_t eval_cap = 64, bool int8_eval = false);
 
   /// Construct directly from (psi, loss) pairs — this is what travels to the
   /// peer as "the results" in Algorithm 2 line 12.

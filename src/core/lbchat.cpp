@@ -11,6 +11,7 @@
 #include "common/log.h"
 #include "coreset/coreset_io.h"
 #include "net/assist_io.h"
+#include "nn/int8_policy.h"
 #include "nn/model_io.h"
 
 namespace lbchat::core {
@@ -263,12 +264,23 @@ void LbChatStrategy::begin_model_phase(FleetSim& sim, PairSession& s) {
     const coreset::Coreset ca = subsample_coreset(chat->coreset_a, opts_.eval_cap);
     const coreset::Coreset cb = subsample_coreset(chat->coreset_b, opts_.eval_cap);
     CompressionProblem prob;
-    prob.loss_i_on_cj = normalized_coreset_loss(node_a.model, cb, cfg.penalty);
-    prob.loss_j_on_ci = normalized_coreset_loss(node_b.model, ca, cfg.penalty);
+    // Value scoring optionally runs through int8 snapshots (DESIGN.md §15):
+    // chat handshakes only need inference-grade estimates of Eq. (7)'s loss
+    // terms, and these evaluations dominate handshake compute at scale.
+    const bool int8 = cfg.int8_eval.scores_values();
+    if (int8) {
+      const nn::Int8Policy qa{node_a.model};
+      const nn::Int8Policy qb{node_b.model};
+      prob.loss_i_on_cj = normalized_coreset_loss(qa, cb, cfg.penalty);
+      prob.loss_j_on_ci = normalized_coreset_loss(qb, ca, cfg.penalty);
+    } else {
+      prob.loss_i_on_cj = normalized_coreset_loss(node_a.model, cb, cfg.penalty);
+      prob.loss_j_on_ci = normalized_coreset_loss(node_b.model, ca, cfg.penalty);
+    }
     prob.phi_i = PhiMapping::build(node_a.model, ca, cfg.penalty, PhiMapping::kDefaultPsis,
-                                   opts_.eval_cap);
+                                   opts_.eval_cap, int8);
     prob.phi_j = PhiMapping::build(node_b.model, cb, cfg.penalty, PhiMapping::kDefaultPsis,
-                                   opts_.eval_cap);
+                                   opts_.eval_cap, int8);
     prob.model_bytes = static_cast<double>(cfg.wire.model_bytes);
     // Loss-aware sizing: budget transfer time against the *expected goodput*
     // along the predicted trajectory (with a small safety margin), not the
@@ -339,10 +351,19 @@ void LbChatStrategy::aggregate_received(FleetSim& sim, int receiver, int sender,
     const coreset::Coreset joint = subsample_coreset(
         coreset::merge_coresets(vehicles_[static_cast<std::size_t>(receiver)].cs, peer_coreset),
         2 * opts_.eval_cap);
-    const double loss_self = normalized_coreset_loss(node.model, joint, sim.config().penalty);
     nn::DrivingPolicy peer_model{node.model.config(), /*init_seed=*/0};
     peer_model.set_params(peer_params);
-    const double loss_peer = normalized_coreset_loss(peer_model, joint, sim.config().penalty);
+    double loss_self = 0.0;
+    double loss_peer = 0.0;
+    if (sim.config().int8_eval.scores_values()) {
+      loss_self = normalized_coreset_loss(nn::Int8Policy{node.model}, joint,
+                                          sim.config().penalty);
+      loss_peer = normalized_coreset_loss(nn::Int8Policy{peer_model}, joint,
+                                          sim.config().penalty);
+    } else {
+      loss_self = normalized_coreset_loss(node.model, joint, sim.config().penalty);
+      loss_peer = normalized_coreset_loss(peer_model, joint, sim.config().penalty);
+    }
     // The logical end of "larger weights to better-performing models": a
     // received model that is clearly worse than the local one (e.g. damaged
     // by compression beyond what the phi mapping predicted) is not merged at

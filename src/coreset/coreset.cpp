@@ -6,15 +6,29 @@
 #include <stdexcept>
 
 #include "common/stats.h"
+#include "nn/int8_policy.h"
 
 namespace lbchat::coreset {
 
 using data::Sample;
 using data::WeightedDataset;
 
-double command_balance_penalty(const nn::DrivingPolicy& model,
-                               std::span<const Sample> samples,
-                               std::span<const double> weights) {
+namespace {
+
+/// ||x|| of Eq. (6) for either model flavour: float parameters directly, or
+/// the dequantized norm the int8 snapshot actually represents.
+double model_param_norm(const nn::DrivingPolicy& model) {
+  return nn::param_l2_norm(model.params());
+}
+double model_param_norm(const nn::Int8Policy& model) { return model.param_l2_norm(); }
+
+/// Shared bodies: the float and int8 policies expose the same sample_loss
+/// surface, so the Eq. (6) reductions are written once and instantiated for
+/// both (identical summation order — the int8 overloads differ only in what
+/// sample_loss computes).
+template <class Model>
+double command_balance_penalty_impl(const Model& model, std::span<const Sample> samples,
+                                    std::span<const double> weights) {
   if (samples.empty()) return 0.0;
   if (!weights.empty() && weights.size() != samples.size()) {
     throw std::invalid_argument{"command_balance_penalty: weights size mismatch"};
@@ -43,8 +57,9 @@ double command_balance_penalty(const nn::DrivingPolicy& model,
   return max_h - entropy(per_command);
 }
 
-double penalized_loss(const nn::DrivingPolicy& model, std::span<const Sample> samples,
-                      std::span<const double> weights, const PenaltyConfig& penalty) {
+template <class Model>
+double penalized_loss_impl(const Model& model, std::span<const Sample> samples,
+                           std::span<const double> weights, const PenaltyConfig& penalty) {
   if (!weights.empty() && weights.size() != samples.size()) {
     throw std::invalid_argument{"penalized_loss: weights size mismatch"};
   }
@@ -54,8 +69,30 @@ double penalized_loss(const nn::DrivingPolicy& model, std::span<const Sample> sa
     if (w <= 0.0) continue;
     empirical += w * model.sample_loss(samples[i]);
   }
-  return empirical + penalty.lambda1 * nn::param_l2_norm(model.params()) +
-         penalty.lambda2 * command_balance_penalty(model, samples, weights);
+  return empirical + penalty.lambda1 * model_param_norm(model) +
+         penalty.lambda2 * command_balance_penalty_impl(model, samples, weights);
+}
+
+}  // namespace
+
+double command_balance_penalty(const nn::DrivingPolicy& model, std::span<const Sample> samples,
+                               std::span<const double> weights) {
+  return command_balance_penalty_impl(model, samples, weights);
+}
+
+double command_balance_penalty(const nn::Int8Policy& model, std::span<const Sample> samples,
+                               std::span<const double> weights) {
+  return command_balance_penalty_impl(model, samples, weights);
+}
+
+double penalized_loss(const nn::DrivingPolicy& model, std::span<const Sample> samples,
+                      std::span<const double> weights, const PenaltyConfig& penalty) {
+  return penalized_loss_impl(model, samples, weights, penalty);
+}
+
+double penalized_loss(const nn::Int8Policy& model, std::span<const Sample> samples,
+                      std::span<const double> weights, const PenaltyConfig& penalty) {
+  return penalized_loss_impl(model, samples, weights, penalty);
 }
 
 double Coreset::total_weight() const {
@@ -227,6 +264,11 @@ Coreset build_layered_coreset(const WeightedDataset& dataset, const nn::DrivingP
 }
 
 double evaluate_on_coreset(const nn::DrivingPolicy& model, const Coreset& c,
+                           const PenaltyConfig& penalty) {
+  return penalized_loss(model, c.samples, c.wc, penalty);
+}
+
+double evaluate_on_coreset(const nn::Int8Policy& model, const Coreset& c,
                            const PenaltyConfig& penalty) {
   return penalized_loss(model, c.samples, c.wc, penalty);
 }

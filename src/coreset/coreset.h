@@ -20,6 +20,10 @@
 #include "data/frame.h"
 #include "nn/policy.h"
 
+namespace lbchat::nn {
+class Int8Policy;  // nn/int8_policy.h — forward-only quantized eval twin
+}
+
 namespace lbchat::coreset {
 
 /// Coefficients of the two penalty terms in Eq. (6).
@@ -37,11 +41,18 @@ struct PenaltyConfig {
 double command_balance_penalty(const nn::DrivingPolicy& model,
                                std::span<const data::Sample> samples,
                                std::span<const double> weights = {});
+double command_balance_penalty(const nn::Int8Policy& model,
+                               std::span<const data::Sample> samples,
+                               std::span<const double> weights = {});
 
 /// Full penalized loss f(x; xi) of Eq. (6) over weighted samples. `weights`
 /// empty means "use each sample's own w(d)". Note this is a weighted *sum*
 /// (Eq. (2)/(4)), not a mean, so f(x; C) approximates f(x; D) in magnitude.
 double penalized_loss(const nn::DrivingPolicy& model, std::span<const data::Sample> samples,
+                      std::span<const double> weights = {}, const PenaltyConfig& penalty = {});
+/// Int8 twin (DESIGN.md §15): same reductions over the quantized model's
+/// sample losses; the ||x|| term uses the dequantized parameter norm.
+double penalized_loss(const nn::Int8Policy& model, std::span<const data::Sample> samples,
                       std::span<const double> weights = {}, const PenaltyConfig& penalty = {});
 
 /// A coreset C: samples plus their in-coreset weights w_C(d) (distinct from
@@ -89,6 +100,8 @@ Coreset build_layered_coreset(const data::WeightedDataset& dataset,
 
 /// f(x; C) of Eq. (4)/(6): penalized weighted-sum loss on the coreset.
 double evaluate_on_coreset(const nn::DrivingPolicy& model, const Coreset& c,
+                           const PenaltyConfig& penalty = {});
+double evaluate_on_coreset(const nn::Int8Policy& model, const Coreset& c,
                            const PenaltyConfig& penalty = {});
 
 /// Union of two coresets (valid epsilon-coreset of the union of the original

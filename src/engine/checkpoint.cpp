@@ -156,6 +156,15 @@ void write_config(ByteWriter& w, const ScenarioConfig& c) {
     w.write_f64(h.dataset_skew);
     w.write_f64(h.dataset_keep_min);
   }
+  // Int8-eval block (same conditional-tail pattern, marker 0x18): written
+  // only when the quantized eval path is on, so default-config checkpoints
+  // keep their pre-existing bytes. A resume must replay the same eval
+  // numerics, hence the knob fingerprints whenever it is live.
+  if (c.int8_eval.enabled) {
+    w.write_u8(0x18);
+    w.write_u8(c.int8_eval.value_scoring ? 1 : 0);
+    w.write_u8(c.int8_eval.eval_loss ? 1 : 0);
+  }
 }
 
 void write_time_series(ByteWriter& w, const TimeSeries& ts) {

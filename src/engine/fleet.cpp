@@ -7,6 +7,7 @@
 
 #include "common/bytes.h"
 #include "common/log.h"
+#include "nn/int8_policy.h"
 
 namespace lbchat::engine {
 
@@ -575,10 +576,13 @@ double FleetSim::mean_eval_loss() const {
   if (eval_set_.empty() || nodes_.empty()) return 0.0;
   // Per-vehicle losses land in an index-addressed slot and are reduced
   // sequentially afterwards, so the sum is bit-identical for any lane count.
+  const bool int8 = cfg_.int8_eval.scores_eval_loss();
   std::vector<double> losses(nodes_.size(), 0.0);
   for_each_vehicle([&](std::int64_t v) {
-    losses[static_cast<std::size_t>(v)] =
-        nodes_[static_cast<std::size_t>(v)]->model.weighted_loss(eval_set_);
+    const nn::DrivingPolicy& model = nodes_[static_cast<std::size_t>(v)]->model;
+    losses[static_cast<std::size_t>(v)] = int8
+                                              ? nn::Int8Policy{model}.weighted_loss(eval_set_)
+                                              : model.weighted_loss(eval_set_);
   });
   double sum = 0.0;
   for (const double l : losses) sum += l;
@@ -594,10 +598,13 @@ void FleetSim::eval_and_record(RunMetrics& metrics, double t) {
   // Same computation and reduction order as mean_eval_loss(): per-vehicle
   // losses land in index-addressed slots, then one sequential sum — so the
   // recorded curve stays bit-identical to the pre-observability engine.
+  const bool int8 = cfg_.int8_eval.scores_eval_loss();
   std::vector<double> losses(nodes_.size(), 0.0);
   for_each_vehicle([&](std::int64_t v) {
-    losses[static_cast<std::size_t>(v)] =
-        nodes_[static_cast<std::size_t>(v)]->model.weighted_loss(eval_set_);
+    const nn::DrivingPolicy& model = nodes_[static_cast<std::size_t>(v)]->model;
+    losses[static_cast<std::size_t>(v)] = int8
+                                              ? nn::Int8Policy{model}.weighted_loss(eval_set_)
+                                              : model.weighted_loss(eval_set_);
   });
   double sum = 0.0;
   for (const double l : losses) sum += l;

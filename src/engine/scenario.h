@@ -14,6 +14,27 @@
 
 namespace lbchat::engine {
 
+/// Opt-in int8 forward-only inference for the evaluation-side model calls
+/// (DESIGN.md §15): coreset value scoring inside LbChat handshakes and the
+/// engine's mean_eval_loss sweeps. Off by default and bit-inert when off —
+/// default-configured runs hash, checkpoint, and evaluate exactly as before.
+/// When enabled, loss trajectories change (quantized eval numerics), so the
+/// knob joins the scenario fingerprint and the checkpoint config fingerprint
+/// via conditional tails like the adversary/scaling blocks.
+struct Int8EvalConfig {
+  bool enabled = false;
+  /// Quantize the models evaluated during chat value scoring (Eq. (7)/(8)
+  /// losses and the phi-mapping samples).
+  bool value_scoring = true;
+  /// Quantize the per-vehicle models in mean_eval_loss / eval_and_record.
+  bool eval_loss = true;
+
+  [[nodiscard]] bool scores_values() const { return enabled && value_scoring; }
+  [[nodiscard]] bool scores_eval_loss() const { return enabled && eval_loss; }
+
+  friend constexpr bool operator==(const Int8EvalConfig&, const Int8EvalConfig&) = default;
+};
+
 struct ScenarioConfig {
   std::uint64_t seed = 1;
   int num_vehicles = 16;  ///< paper: 32 expert autopilots (scaled down)
@@ -95,6 +116,9 @@ struct ScenarioConfig {
   /// radios, skewed dataset sizes. Off by default with the same bit-inertness
   /// contract as the adversary layer.
   HeteroConfig hetero{};
+
+  /// Int8 evaluation path (above). Off by default; bit-inert when off.
+  Int8EvalConfig int8_eval{};
 };
 
 /// One-line metro fleet: grow the scenario to `num_vehicles` while holding

@@ -1,6 +1,7 @@
 #include "nn/gemm.h"
 
 #include <algorithm>
+#include <stdexcept>
 
 #if defined(__GNUC__) || defined(__clang__)
 #define LBCHAT_RESTRICT __restrict__
@@ -9,6 +10,8 @@
 #endif
 
 namespace lbchat::nn {
+
+namespace detail::scalar {
 
 namespace {
 
@@ -139,6 +142,162 @@ void sgemm_abt(int m, int n, int k, const float* LBCHAT_RESTRICT a,
   }
 }
 
+void igemm_abt(int m, int n, int k, const std::int8_t* LBCHAT_RESTRICT a,
+               const std::int8_t* LBCHAT_RESTRICT b, std::int32_t* LBCHAT_RESTRICT c) {
+  // Integer accumulation is associative, so the plain dot loop both
+  // auto-vectorizes and stays bit-identical to any other evaluation order.
+  for (int i = 0; i < m; ++i) {
+    const std::int8_t* ai = a + static_cast<long>(i) * k;
+    std::int32_t* ci = c + static_cast<long>(i) * n;
+    for (int j = 0; j < n; ++j) {
+      const std::int8_t* bj = b + static_cast<long>(j) * k;
+      std::int32_t s = 0;
+      for (int kk = 0; kk < k; ++kk) {
+        s += static_cast<std::int32_t>(ai[kk]) * static_cast<std::int32_t>(bj[kk]);
+      }
+      ci[j] += s;
+    }
+  }
+}
+
+}  // namespace detail::scalar
+
+// ---------------------------------------------------------------------------
+// Runtime dispatch (nn/kernel_dispatch.h). One relaxed atomic load per GEMM
+// call — noise next to even the smallest branch-head matmul.
+// ---------------------------------------------------------------------------
+
+void sgemm_on(KernelPath path, int m, int n, int k, const float* a, const float* b, float* c) {
+  switch (path) {
+    case KernelPath::kScalar:
+      detail::scalar::sgemm(m, n, k, a, b, c);
+      return;
+#if defined(__x86_64__) || defined(__i386__)
+    case KernelPath::kAvx2:
+      detail::avx2::sgemm(m, n, k, a, b, c);
+      return;
+#endif
+#if defined(__ARM_NEON)
+    case KernelPath::kNeon:
+      detail::neon::sgemm(m, n, k, a, b, c);
+      return;
+#endif
+    default:
+      throw std::invalid_argument{"sgemm_on: kernel path not compiled into this build"};
+  }
+}
+
+void sgemm_atb_on(KernelPath path, int m, int n, int k, const float* a, const float* b,
+                  float* c) {
+  switch (path) {
+    case KernelPath::kScalar:
+      detail::scalar::sgemm_atb(m, n, k, a, b, c);
+      return;
+#if defined(__x86_64__) || defined(__i386__)
+    case KernelPath::kAvx2:
+      detail::avx2::sgemm_atb(m, n, k, a, b, c);
+      return;
+#endif
+#if defined(__ARM_NEON)
+    case KernelPath::kNeon:
+      detail::neon::sgemm_atb(m, n, k, a, b, c);
+      return;
+#endif
+    default:
+      throw std::invalid_argument{"sgemm_atb_on: kernel path not compiled into this build"};
+  }
+}
+
+void sgemm_abt_on(KernelPath path, int m, int n, int k, const float* a, const float* b,
+                  float* c) {
+  switch (path) {
+    case KernelPath::kScalar:
+      detail::scalar::sgemm_abt(m, n, k, a, b, c);
+      return;
+#if defined(__x86_64__) || defined(__i386__)
+    case KernelPath::kAvx2:
+      detail::avx2::sgemm_abt(m, n, k, a, b, c);
+      return;
+#endif
+#if defined(__ARM_NEON)
+    case KernelPath::kNeon:
+      detail::neon::sgemm_abt(m, n, k, a, b, c);
+      return;
+#endif
+    default:
+      throw std::invalid_argument{"sgemm_abt_on: kernel path not compiled into this build"};
+  }
+}
+
+void igemm_abt_on(KernelPath path, int m, int n, int k, const std::int8_t* a,
+                  const std::int8_t* b, std::int32_t* c) {
+  switch (path) {
+    case KernelPath::kScalar:
+      detail::scalar::igemm_abt(m, n, k, a, b, c);
+      return;
+#if defined(__x86_64__) || defined(__i386__)
+    case KernelPath::kAvx2:
+      detail::avx2::igemm_abt(m, n, k, a, b, c);
+      return;
+#endif
+#if defined(__ARM_NEON)
+    case KernelPath::kNeon:
+      detail::neon::igemm_abt(m, n, k, a, b, c);
+      return;
+#endif
+    default:
+      throw std::invalid_argument{"igemm_abt_on: kernel path not compiled into this build"};
+  }
+}
+
+void igemm_abt_u8s8_on(KernelPath path, int m, int n, int k, const std::int8_t* a,
+                       const std::int8_t* b, std::int32_t* c) {
+  switch (path) {
+    case KernelPath::kScalar:
+      detail::scalar::igemm_abt(m, n, k, a, b, c);
+      return;
+#if defined(__x86_64__) || defined(__i386__)
+    case KernelPath::kAvx2:
+      detail::avx2::igemm_abt_u8s8(m, n, k, a, b, c);
+      return;
+#endif
+#if defined(__ARM_NEON)
+    case KernelPath::kNeon:
+      detail::neon::igemm_abt(m, n, k, a, b, c);
+      return;
+#endif
+    default:
+      throw std::invalid_argument{
+          "igemm_abt_u8s8_on: kernel path not compiled into this build"};
+  }
+}
+
+void sgemm(int m, int n, int k, const float* a, const float* b, float* c) {
+  sgemm_on(active_kernel_path(), m, n, k, a, b, c);
+}
+
+void sgemm_atb(int m, int n, int k, const float* a, const float* b, float* c) {
+  sgemm_atb_on(active_kernel_path(), m, n, k, a, b, c);
+}
+
+void sgemm_abt(int m, int n, int k, const float* a, const float* b, float* c) {
+  sgemm_abt_on(active_kernel_path(), m, n, k, a, b, c);
+}
+
+void igemm_abt_u8s8(int m, int n, int k, const std::int8_t* a, const std::int8_t* b,
+                    std::int32_t* c) {
+  igemm_abt_u8s8_on(active_kernel_path(), m, n, k, a, b, c);
+}
+
+void igemm_abt(int m, int n, int k, const std::int8_t* a, const std::int8_t* b,
+               std::int32_t* c) {
+  igemm_abt_on(active_kernel_path(), m, n, k, a, b, c);
+}
+
+// ---------------------------------------------------------------------------
+// Parity oracles.
+// ---------------------------------------------------------------------------
+
 void naive_sgemm(int m, int n, int k, const float* a, const float* b, float* c) {
   for (int i = 0; i < m; ++i) {
     for (int j = 0; j < n; ++j) {
@@ -169,6 +328,20 @@ void naive_sgemm_abt(int m, int n, int k, const float* a, const float* b, float*
       float s = 0.0f;
       for (int kk = 0; kk < k; ++kk) {
         s += a[static_cast<long>(i) * k + kk] * b[static_cast<long>(j) * k + kk];
+      }
+      c[static_cast<long>(i) * n + j] += s;
+    }
+  }
+}
+
+void naive_igemm_abt(int m, int n, int k, const std::int8_t* a, const std::int8_t* b,
+                     std::int32_t* c) {
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < n; ++j) {
+      std::int32_t s = 0;
+      for (int kk = 0; kk < k; ++kk) {
+        s += static_cast<std::int32_t>(a[static_cast<long>(i) * k + kk]) *
+             static_cast<std::int32_t>(b[static_cast<long>(j) * k + kk]);
       }
       c[static_cast<long>(i) * n + j] += s;
     }

@@ -1,0 +1,35 @@
+// NEON backend stubs behind the nn/gemm.h dispatch (DESIGN.md §15).
+//
+// Compiled only on builds that define __ARM_NEON, so the kNeon path exists
+// and is selectable on AArch64 — but the kernels currently forward to the
+// scalar implementations (which GCC/Clang auto-vectorize to NEON at -O3
+// anyway). Hand-tuned vfmaq/vmlal bodies should replace these forwards once
+// there is ARM hardware in the loop to validate parity and measure a win;
+// the tests/kernel_test.cpp battery already covers the path, so dropping in
+// real intrinsics later is a leaf change.
+#include "nn/gemm.h"
+
+#if defined(__ARM_NEON)
+
+namespace lbchat::nn::detail::neon {
+
+void sgemm(int m, int n, int k, const float* a, const float* b, float* c) {
+  scalar::sgemm(m, n, k, a, b, c);
+}
+
+void sgemm_atb(int m, int n, int k, const float* a, const float* b, float* c) {
+  scalar::sgemm_atb(m, n, k, a, b, c);
+}
+
+void sgemm_abt(int m, int n, int k, const float* a, const float* b, float* c) {
+  scalar::sgemm_abt(m, n, k, a, b, c);
+}
+
+void igemm_abt(int m, int n, int k, const std::int8_t* a, const std::int8_t* b,
+               std::int32_t* c) {
+  scalar::igemm_abt(m, n, k, a, b, c);
+}
+
+}  // namespace lbchat::nn::detail::neon
+
+#endif  // __ARM_NEON

@@ -1,0 +1,284 @@
+#include "nn/int8_policy.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+
+#include "nn/gemm.h"
+#include "nn/quantize.h"
+
+namespace lbchat::nn {
+
+using data::Command;
+
+struct Int8Policy::Workspace {
+  std::vector<std::int8_t> xq;    // quantized activation codes (largest tensor)
+  std::vector<std::int8_t> colT;  // transposed int8 im2col panel [out_plane, kpad]
+  std::vector<std::int32_t> acc;  // integer GEMM accumulator
+  std::vector<float> deq;         // per-out-channel dequant factors for one call
+  std::vector<float> a1, a2, h, bh;
+  std::array<float, 2 * data::kNumWaypoints> out;
+};
+
+namespace {
+
+/// Quantize one layer's weight block row-wise and fold its dequantized
+/// energy + float biases into the running ||x||² accumulator.
+Int8Rows quantize_block(std::span<const float> w, std::size_t row_len,
+                        std::span<const float> bias, double& l2_acc) {
+  Int8Rows q = quantize_rows_s8(w, row_len);
+  const std::size_t rows = q.scales.size();
+  for (std::size_t r = 0; r < rows; ++r) {
+    // Σ(s·code)² = s²·Σcode²: the inner sum is exact integer arithmetic, so
+    // the per-row energy costs one multiply instead of one per code.
+    std::int64_t sq = 0;
+    const std::int8_t* row = q.codes.data() + r * row_len;
+    for (std::size_t i = 0; i < row_len; ++i) {
+      sq += static_cast<std::int64_t>(row[i]) * row[i];
+    }
+    const double s = static_cast<double>(q.scales[r]);
+    l2_acc += s * s * static_cast<double>(sq);
+  }
+  for (const float b : bias) l2_acc += static_cast<double>(b) * b;
+  return q;
+}
+
+}  // namespace
+
+Int8Policy::Int8Policy(const DrivingPolicy& src) : cfg_(src.config()) {
+  double l2 = 0.0;
+  const ParamStore& store = src.store_;
+
+  const auto quantize_conv = [&](const Conv2d& cv) {
+    QConv qc;
+    qc.geom = cv;
+    const std::size_t row_len = static_cast<std::size_t>(cv.col_rows());
+    const auto w = store.param(cv.w_off, static_cast<std::size_t>(cv.out_ch) * row_len);
+    const auto b = store.param(cv.b_off, static_cast<std::size_t>(cv.out_ch));
+    // Reorder each filter from [ic][kr][kc] into the channel-last [kr][kc][ic]
+    // order the unfold writes. A permutation moves neither the row absmax nor
+    // any dot-product term, so scales and conv outputs are unchanged.
+    std::vector<float> wl(w.size());
+    const int kk2 = cv.kernel * cv.kernel;
+    for (int oc = 0; oc < cv.out_ch; ++oc) {
+      const float* srow = w.data() + static_cast<std::size_t>(oc) * row_len;
+      float* drow = wl.data() + static_cast<std::size_t>(oc) * row_len;
+      for (int ic = 0; ic < cv.in_ch; ++ic) {
+        for (int t = 0; t < kk2; ++t) drow[t * cv.in_ch + ic] = srow[ic * kk2 + t];
+      }
+    }
+    Int8Rows q = quantize_block(wl, row_len, b, l2);
+    // Pad rows to a multiple of 32 codes so the AVX2 u8s8 kernel has no
+    // scalar k-tail; zero codes are exact no-ops against zero panel padding.
+    qc.kpad = (cv.col_rows() + 31) / 32 * 32;
+    qc.w.assign(static_cast<std::size_t>(cv.out_ch) * qc.kpad, 0);
+    for (int oc = 0; oc < cv.out_ch; ++oc) {
+      std::copy_n(q.codes.data() + static_cast<std::size_t>(oc) * row_len, row_len,
+                  qc.w.data() + static_cast<std::size_t>(oc) * qc.kpad);
+    }
+    qc.scale = std::move(q.scales);
+    qc.bias.assign(b.begin(), b.end());
+    return qc;
+  };
+  const auto quantize_linear_w = [&](std::span<const float> w, std::span<const float> b,
+                                     int in, int out) {
+    QLinear ql;
+    ql.in = in;
+    ql.out = out;
+    Int8Rows q = quantize_block(w, static_cast<std::size_t>(in), b, l2);
+    ql.w = std::move(q.codes);
+    ql.scale = std::move(q.scales);
+    ql.bias.assign(b.begin(), b.end());
+    return ql;
+  };
+  const auto quantize_linear = [&](const Linear& l) {
+    const auto w = store.param(l.w_off, static_cast<std::size_t>(l.out) * l.in);
+    const auto b = store.param(l.b_off, static_cast<std::size_t>(l.out));
+    return quantize_linear_w(w, b, l.in, l.out);
+  };
+
+  conv1_ = quantize_conv(src.conv1_);
+  conv2_ = quantize_conv(src.conv2_);
+  {
+    // fc consumes the flattened conv2 output, which this class keeps
+    // channel-last — permute the weight columns from [oc][pixel] to
+    // [pixel][oc] to match.
+    const Linear& l = src.fc_;
+    const auto w = store.param(l.w_off, static_cast<std::size_t>(l.out) * l.in);
+    const auto b = store.param(l.b_off, static_cast<std::size_t>(l.out));
+    const std::size_t plane =
+        static_cast<std::size_t>(conv2_.geom.out_h) * conv2_.geom.out_w;
+    const int oc_n = conv2_.geom.out_ch;
+    std::vector<float> wl(w.size());
+    for (int o = 0; o < l.out; ++o) {
+      const float* srow = w.data() + static_cast<std::size_t>(o) * l.in;
+      float* drow = wl.data() + static_cast<std::size_t>(o) * l.in;
+      for (int oc = 0; oc < oc_n; ++oc) {
+        for (std::size_t p = 0; p < plane; ++p) {
+          drow[p * static_cast<std::size_t>(oc_n) + oc] = srow[oc * plane + p];
+        }
+      }
+    }
+    fc_ = quantize_linear_w(wl, b, l.in, l.out);
+  }
+  branches_.reserve(src.branches_.size());
+  for (const auto& br : src.branches_) {
+    branches_.push_back(QBranch{quantize_linear(br.hidden), quantize_linear(br.out)});
+  }
+  param_l2_ = std::sqrt(l2);
+}
+
+void Int8Policy::qconv_forward(const QConv& qc, const std::int8_t* xq, float x_scale, float* y,
+                               Workspace& ws) const {
+  const Conv2d& g = qc.geom;
+  const std::size_t out_plane = static_cast<std::size_t>(g.out_h) * g.out_w;
+
+  // Channel-last unfold: with activations stored [h][w][c], one (pixel, kr)
+  // pair's receptive-field row is a contiguous run of kernel*in_ch codes, so
+  // the panel fills with one clipped memcpy per pair. Out-of-bounds rows and
+  // the kpad tail stay zero codes (exact no-ops in the integer dot).
+  ws.colT.assign(out_plane * static_cast<std::size_t>(qc.kpad), 0);
+  const std::size_t in_row = static_cast<std::size_t>(g.in_w) * g.in_ch;
+  for (int r = 0; r < g.out_h; ++r) {
+    for (int kr = 0; kr < g.kernel; ++kr) {
+      const int ri = r * g.stride - g.pad + kr;
+      if (ri < 0 || ri >= g.in_h) continue;
+      const std::int8_t* srow = xq + static_cast<std::size_t>(ri) * in_row;
+      for (int c = 0; c < g.out_w; ++c) {
+        const int c0 = c * g.stride - g.pad;  // input col under kc = 0
+        const int kc_lo = c0 < 0 ? -c0 : 0;
+        const int kc_hi = std::min(g.kernel, g.in_w - c0);
+        if (kc_lo >= kc_hi) continue;
+        std::int8_t* dst = ws.colT.data() +
+                           (static_cast<std::size_t>(r) * g.out_w + c) * qc.kpad +
+                           (static_cast<std::size_t>(kr) * g.kernel + kc_lo) * g.in_ch;
+        std::memcpy(dst, srow + static_cast<std::size_t>(c0 + kc_lo) * g.in_ch,
+                    static_cast<std::size_t>(kc_hi - kc_lo) * g.in_ch);
+      }
+    }
+  }
+
+  // acc [out_plane, out_ch] = colT · Wᵀ — already the channel-last layout the
+  // next layer consumes, so dequant+bias is one contiguous sweep.
+  ws.acc.assign(out_plane * static_cast<std::size_t>(g.out_ch), 0);
+  igemm_abt_u8s8(static_cast<int>(out_plane), g.out_ch, qc.kpad, ws.colT.data(),
+                 qc.w.data(), ws.acc.data());
+  ws.deq.resize(static_cast<std::size_t>(g.out_ch));
+  for (int oc = 0; oc < g.out_ch; ++oc) {
+    ws.deq[static_cast<std::size_t>(oc)] = x_scale * qc.scale[static_cast<std::size_t>(oc)];
+  }
+  for (std::size_t p = 0; p < out_plane; ++p) {
+    const std::int32_t* ap = ws.acc.data() + p * static_cast<std::size_t>(g.out_ch);
+    float* yp = y + p * static_cast<std::size_t>(g.out_ch);
+    for (int oc = 0; oc < g.out_ch; ++oc) {
+      yp[oc] = static_cast<float>(ap[oc]) * ws.deq[static_cast<std::size_t>(oc)] +
+               qc.bias[static_cast<std::size_t>(oc)];
+    }
+  }
+}
+
+void Int8Policy::qlinear_forward(const QLinear& ql, std::span<const float> x, float* y,
+                                 Workspace& ws) const {
+  // x is a post-ReLU tensor, so its codes are non-negative — u8s8 contract.
+  ws.xq.resize(x.size());
+  const float xs = quantize_tensor_s8(x, ws.xq.data());
+  ws.acc.assign(static_cast<std::size_t>(ql.out), 0);
+  igemm_abt_u8s8(1, ql.out, ql.in, ws.xq.data(), ql.w.data(), ws.acc.data());
+  for (int o = 0; o < ql.out; ++o) {
+    y[o] = static_cast<float>(ws.acc[static_cast<std::size_t>(o)]) * xs *
+               ql.scale[static_cast<std::size_t>(o)] +
+           ql.bias[static_cast<std::size_t>(o)];
+  }
+}
+
+void Int8Policy::forward_one(Command cmd, float xs1, Workspace& ws) const {
+  // Precondition: ws.xq holds the conv1 input codes at scale xs1 (predict
+  // fills them straight from the binary BEV). Activations are re-quantized
+  // per tensor before conv2 and each linear; per-output-channel weight
+  // scales dequantize inside each layer.
+  ws.a1.assign(conv1_.geom.out_numel(), 0.0f);
+  ws.a2.assign(conv2_.geom.out_numel(), 0.0f);
+  ws.h.assign(static_cast<std::size_t>(cfg_.fc_dim), 0.0f);
+  ws.bh.assign(static_cast<std::size_t>(cfg_.branch_hidden), 0.0f);
+
+  qconv_forward(conv1_, ws.xq.data(), xs1, ws.a1.data(), ws);
+  relu_forward(ws.a1);
+
+  ws.xq.resize(ws.a1.size());
+  const float xs2 = quantize_tensor_s8(ws.a1, ws.xq.data());
+  qconv_forward(conv2_, ws.xq.data(), xs2, ws.a2.data(), ws);
+  relu_forward(ws.a2);
+
+  qlinear_forward(fc_, ws.a2, ws.h.data(), ws);
+  relu_forward(ws.h);
+
+  const QBranch& br = branches_[static_cast<std::size_t>(cmd)];
+  qlinear_forward(br.hidden, ws.h, ws.bh.data(), ws);
+  relu_forward(ws.bh);
+  qlinear_forward(br.out, ws.bh, ws.out.data(), ws);
+}
+
+WaypointVector Int8Policy::predict(const data::BevGrid& bev, Command cmd) const {
+  const std::size_t n = static_cast<std::size_t>(cfg_.bev.numel());
+  if (bev.cells.size() != n) throw std::invalid_argument{"Int8Policy: BEV size mismatch"};
+  thread_local Workspace ws;
+  // The BEV is binary, so its int8 codes are known without the float
+  // rasterize + absmax pass: occupied cells quantize to exactly 127 at scale
+  // 1/127 (the values quantize_tensor_s8 would produce for a {0,1} tensor,
+  // including the all-zero grid, where every product term is zero anyway).
+  ws.xq.resize(n);
+  const std::size_t plane = static_cast<std::size_t>(cfg_.bev.height) * cfg_.bev.width;
+  const int ch = cfg_.bev.channels;
+  const std::uint8_t* cells = bev.cells.data();
+  std::int8_t* xq = ws.xq.data();
+  if (ch == 4) {
+    // Fixed-width body for the default spec: a constant interleave factor is
+    // what lets the compiler turn this byte transpose into shuffles.
+    for (std::size_t p = 0; p < plane; ++p) {
+      for (int ic = 0; ic < 4; ++ic) {
+        xq[p * 4 + ic] = static_cast<std::int8_t>(
+            (cells[static_cast<std::size_t>(ic) * plane + p] != 0) * 127);
+      }
+    }
+  } else {
+    for (std::size_t p = 0; p < plane; ++p) {
+      for (int ic = 0; ic < ch; ++ic) {
+        xq[p * static_cast<std::size_t>(ch) + ic] = static_cast<std::int8_t>(
+            (cells[static_cast<std::size_t>(ic) * plane + p] != 0) * 127);
+      }
+    }
+  }
+  forward_one(cmd, 1.0f / 127.0f, ws);
+  WaypointVector out{};
+  std::copy(ws.out.begin(), ws.out.end(), out.begin());
+  return out;
+}
+
+double Int8Policy::sample_loss(const data::Sample& s) const {
+  const WaypointVector pred = predict(s.bev, s.command);
+  double loss = 0.0;
+  for (std::size_t i = 0; i < pred.size(); ++i) {
+    loss += std::abs(static_cast<double>(pred[i]) - static_cast<double>(s.waypoints[i]));
+  }
+  return loss / static_cast<double>(pred.size());
+}
+
+double Int8Policy::weighted_loss(std::span<const data::Sample> samples,
+                                 std::span<const double> weights) const {
+  if (samples.empty()) return 0.0;
+  if (!weights.empty() && weights.size() != samples.size()) {
+    throw std::invalid_argument{"weighted_loss: weights size mismatch"};
+  }
+  double num = 0.0;
+  double den = 0.0;
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    const double w = weights.empty() ? 1.0 : weights[i];
+    if (w <= 0.0) continue;
+    num += w * sample_loss(samples[i]);
+    den += w;
+  }
+  return den > 0.0 ? num / den : 0.0;
+}
+
+}  // namespace lbchat::nn

@@ -71,6 +71,10 @@ class DrivingPolicy {
   double train_batch(std::span<const data::Sample* const> batch, Optimizer& opt);
 
  private:
+  /// The int8 forward-only twin (nn/int8_policy.h) snapshots the layer
+  /// descriptors and parameter store directly at quantization time.
+  friend class Int8Policy;
+
   struct Workspace;
   /// Forward pass over a batch; fills the workspace with all activations.
   void forward(const float* x, std::span<const data::Command> cmds, int batch,

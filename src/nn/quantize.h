@@ -42,4 +42,25 @@ struct QuantizedModel {
 /// (clamped to [2, 16]; psi >= ~0.5 saturates at 16 bits).
 [[nodiscard]] int bits_for_psi(double psi);
 
+// --- int8 inference quantization (DESIGN.md §15) -------------------------
+//
+// The forward-only int8 eval path uses the same symmetric-absmax convention
+// as the wire quantizer above, but at a granularity matched to integer GEMM:
+// one scale per weight row (= per output channel) and one per activation
+// tensor, codes in [-127, 127] so products fit madd-style int16 pairs.
+// Rounding is round-to-nearest (deterministic), dequantized value is
+// code * scale.
+
+/// Row-wise symmetric int8 quantization of a dense [rows, row_len] matrix.
+struct Int8Rows {
+  std::vector<std::int8_t> codes;  ///< [rows, row_len], row-major
+  std::vector<float> scales;       ///< per-row dequant scale (absmax/127; 0 for all-zero rows)
+};
+[[nodiscard]] Int8Rows quantize_rows_s8(std::span<const float> w, std::size_t row_len);
+
+/// Per-tensor symmetric int8 quantization into `out` (x.size() codes);
+/// returns the dequant scale (absmax/127; 0 — and all-zero codes — when x
+/// is all zeros).
+float quantize_tensor_s8(std::span<const float> x, std::int8_t* out);
+
 }  // namespace lbchat::nn

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "common/fingerprint.h"
+#include "nn/kernel_dispatch.h"
 #include "svc/json.h"
 
 namespace lbchat::svc {
@@ -258,7 +259,11 @@ bool parse_job_spec(std::string_view text, JobSpec& out, std::string& error) {
 
 std::uint64_t job_fingerprint(const JobSpec& spec) {
   const auto opts = baselines::registry().fingerprint_options(spec.approach_name, spec.options);
-  const std::uint64_t base = scenario_fingerprint(spec.cfg, spec.approach_name, opts);
+  // Identity on the scalar path, so historical ResultCache entries keep
+  // their keys; a SIMD-backed daemon gets a disjoint key space because its
+  // run results differ bit-wise from the scalar ones.
+  const std::uint64_t base =
+      nn::salt_with_kernel_path(scenario_fingerprint(spec.cfg, spec.approach_name, opts));
   if (!spec.events) return base;
   // An events job additionally exports events.jsonl, so its payload differs
   // from the plain job's — it must not share a cache entry.

@@ -12,6 +12,7 @@
 
 #include "common/fingerprint.h"
 #include "engine/scenario.h"
+#include "nn/kernel_dispatch.h"
 
 namespace lbchat {
 namespace {
@@ -118,6 +119,49 @@ TEST(ScenarioFingerprintTest, NonDefaultOptionsSplitKeys) {
   // Key order and values both matter.
   const std::vector<StrategyOptionKv> opts2{{"divergence_bound", 3e-4}};
   EXPECT_NE(scenario_fingerprint(cfg, "DynThresh", opts2), with);
+}
+
+TEST(ScenarioFingerprintTest, DisabledInt8EvalKeepsLegacyKeys) {
+  // Same conditional-tail contract as the robustness layer: the Int8EvalConfig
+  // member's existence must not move any historical key, and its sub-knobs
+  // are dead while enabled == false.
+  const engine::ScenarioConfig base;
+  EXPECT_EQ(scenario_fingerprint(base, "LbChat"), 0xB64685EC8CDC8984ull);
+  engine::ScenarioConfig c = base;
+  c.int8_eval.value_scoring = false;  // ignored while !enabled
+  c.int8_eval.eval_loss = false;
+  EXPECT_EQ(scenario_fingerprint(c, "LbChat"), scenario_fingerprint(base, "LbChat"));
+}
+
+TEST(ScenarioFingerprintTest, EnabledInt8EvalSplitsKeys) {
+  const engine::ScenarioConfig base;
+  engine::ScenarioConfig on = base;
+  on.int8_eval.enabled = true;
+  const std::uint64_t fp_on = scenario_fingerprint(on, "LbChat");
+  EXPECT_NE(fp_on, scenario_fingerprint(base, "LbChat"));
+
+  // The sub-knobs are live once enabled — each changes the measurement, so
+  // each must change the key.
+  engine::ScenarioConfig c = on;
+  c.int8_eval.value_scoring = false;
+  EXPECT_NE(scenario_fingerprint(c, "LbChat"), fp_on);
+  c = on;
+  c.int8_eval.eval_loss = false;
+  EXPECT_NE(scenario_fingerprint(c, "LbChat"), fp_on);
+}
+
+TEST(ScenarioFingerprintTest, KernelPathDoesNotEnterScenarioFingerprint) {
+  // scenario_fingerprint hashes configuration, not runtime state; the active
+  // GEMM backend enters cache keys only via nn::salt_with_kernel_path at the
+  // call sites that cache run *results*.
+  const engine::ScenarioConfig cfg;
+  const std::uint64_t fp = scenario_fingerprint(cfg, "LbChat");
+  for (const nn::KernelPath p :
+       {nn::KernelPath::kScalar, nn::KernelPath::kAvx2, nn::KernelPath::kNeon}) {
+    if (!nn::kernel_path_available(p)) continue;
+    nn::ScopedKernelPath guard{p};
+    EXPECT_EQ(scenario_fingerprint(cfg, "LbChat"), fp);
+  }
 }
 
 }  // namespace

@@ -24,6 +24,7 @@
 #include "common/bytes.h"
 #include "common/frame.h"
 #include "engine/fleet.h"
+#include "nn/kernel_dispatch.h"
 #include "obs/export.h"
 #include "obs/obs.h"
 #include "obs/trace.h"
@@ -111,6 +112,10 @@ inline std::uint64_t fnv64(std::uint64_t h, std::uint64_t v) {
 /// Run one scenario with event tracing on and return its digest as
 /// deterministic `key=value` lines (the golden file format).
 inline std::string run_golden_scenario(const GoldenScenario& sc) {
+  // The committed digests pin the scalar kernel numerics; force that path so
+  // the suite passes on any machine regardless of the runtime CPUID dispatch
+  // (DESIGN.md §15). LBCHAT_KERNEL still governs every non-golden run.
+  nn::ScopedKernelPath kernel_guard{nn::KernelPath::kScalar};
   obs::reset();
   obs::set_events_enabled(true);
   engine::FleetSim sim{sc.metro > 0 ? golden_metro_config(sc.seed, sc.faults, sc.metro)

@@ -1,0 +1,631 @@
+// Kernel parity/fuzz battery for the dispatched GEMM backends and the int8
+// eval path (DESIGN.md §15).
+//
+// Layer 1 — microkernel parity: every dispatch path compiled into this build
+// and runnable on this CPU is driven over randomized shapes (ragged m/n/k,
+// k = 0, single rows/columns), denormal and large-magnitude operands, and
+// prefilled accumulators, and compared against the naive_* triple-loop
+// oracles under the per-path tolerance contract:
+//
+//   scalar sgemm/sgemm_atb   bit-exact vs naive when C starts zeroed
+//   scalar sgemm_abt         float-reassociation error (8-lane reduction)
+//   avx2 / neon              float-reassociation error, <= 1e-4 relative
+//   igemm_abt                bit-exact on EVERY path (int32 accumulation)
+//
+// Layer 2 — dispatch plumbing: availability, parse/name round-trips,
+// set_kernel_path error contract, ScopedKernelPath restore, cache-key
+// salting.
+//
+// Layer 3 — engine determinism spine per path: a tiny fleet run is
+// bit-identical 1-vs-4 threads and across checkpoint/resume on each
+// available path (goldens pin the scalar path's absolute numerics
+// elsewhere; here we pin that every path is *self*-consistent).
+//
+// Layer 4 — the int8 eval knob: off is bit-inert (fingerprint, checkpoint
+// bytes, loss-curve bits all unchanged vs a config that never mentions it);
+// on changes the fingerprint, stays thread-count bit-identical, and the
+// quantized forward error respects an analytic quantizer bound.
+//
+// CI runs this suite under LBCHAT_KERNEL=scalar and =avx2 plus one
+// ASan/UBSan pass (.github/workflows/ci.yml).
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <vector>
+
+#include "baselines/registry.h"
+#include "common/bytes.h"
+#include "common/fingerprint.h"
+#include "common/rng.h"
+#include "data/frame.h"
+#include "engine/checkpoint.h"
+#include "engine/fleet.h"
+#include "nn/gemm.h"
+#include "nn/int8_policy.h"
+#include "nn/kernel_dispatch.h"
+#include "nn/policy.h"
+#include "nn/quantize.h"
+
+namespace lbchat {
+namespace {
+
+using nn::KernelPath;
+
+std::vector<KernelPath> available_paths() {
+  std::vector<KernelPath> out{KernelPath::kScalar};
+  if (nn::kernel_path_available(KernelPath::kAvx2)) out.push_back(KernelPath::kAvx2);
+  if (nn::kernel_path_available(KernelPath::kNeon)) out.push_back(KernelPath::kNeon);
+  return out;
+}
+
+// --- layer 1: microkernel parity -------------------------------------------
+
+/// Shapes straddling every blocking boundary in the kernels: the 4-row and
+/// 4-column register blocks, the 8/16/32-lane SIMD widths, the kGemmKBlock
+/// K panel, plus the degenerate m/n/k = 0 and single-row/column cases.
+constexpr int kShapes[][3] = {
+    {1, 1, 1},  {1, 1, 0},   {0, 3, 4},    {3, 0, 4},    {1, 16, 8},  {4, 16, 64},
+    {5, 17, 33}, {8, 8, 8},  {3, 31, 2},   {13, 19, 7},  {6, 64, 128}, {2, 33, 65},
+    {7, 1, 129}, {1, 40, 40}, {12, 23, 100}, {4, 48, 63},
+};
+
+std::vector<float> random_vec(std::size_t count, Rng& rng, float scale = 1.0f) {
+  std::vector<float> v(count);
+  for (float& x : v) x = static_cast<float>(rng.normal()) * scale;
+  return v;
+}
+
+std::vector<std::int8_t> random_s8(std::size_t count, Rng& rng) {
+  std::vector<std::int8_t> v(count);
+  // Full code range incl. the +/-127 extremes the quantizer clamps to.
+  for (auto& x : v) x = static_cast<std::int8_t>(static_cast<long>(rng.next_u64() % 255) - 127);
+  return v;
+}
+
+/// |got - want| <= tol * max(mag_floor, |want|) elementwise. `mag_floor` is
+/// the magnitude the reassociation error actually scales with — roughly
+/// k * (term magnitude)² — which exceeds |want| whenever the dot products
+/// cancel; without it a well-behaved kernel fails on cancellation-heavy
+/// inputs whose *result* happens to be small.
+void expect_close(const std::vector<float>& got, const std::vector<float>& want, float tol,
+                  float mag_floor, const char* what, int m, int n, int k) {
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    const float bound = tol * std::max(mag_floor, std::abs(want[i]));
+    EXPECT_LE(std::abs(got[i] - want[i]), bound)
+        << what << " " << m << "x" << n << "x" << k << " at " << i << ": got " << got[i]
+        << " want " << want[i];
+  }
+}
+
+void run_parity_for_path(KernelPath path, float scale, float tol) {
+  Rng rng{0x5EEDull + static_cast<std::uint64_t>(path) * 977};
+  for (const auto& s : kShapes) {
+    const int m = s[0], n = s[1], k = s[2];
+    const float mag_floor = std::max(1.0f, static_cast<float>(k) * scale * scale);
+    // Prefilled C on purpose: every kernel's contract is ACCUMULATION.
+    const auto base = random_vec(static_cast<std::size_t>(m) * n, rng, scale);
+    {
+      const auto a = random_vec(static_cast<std::size_t>(m) * k, rng, scale);
+      const auto b = random_vec(static_cast<std::size_t>(k) * n, rng, scale);
+      auto c0 = base, c1 = base;
+      nn::naive_sgemm(m, n, k, a.data(), b.data(), c0.data());
+      nn::sgemm_on(path, m, n, k, a.data(), b.data(), c1.data());
+      expect_close(c1, c0, tol, mag_floor, "sgemm", m, n, k);
+    }
+    {
+      const auto a = random_vec(static_cast<std::size_t>(k) * m, rng, scale);
+      const auto b = random_vec(static_cast<std::size_t>(k) * n, rng, scale);
+      auto c0 = base, c1 = base;
+      nn::naive_sgemm_atb(m, n, k, a.data(), b.data(), c0.data());
+      nn::sgemm_atb_on(path, m, n, k, a.data(), b.data(), c1.data());
+      expect_close(c1, c0, tol, mag_floor, "sgemm_atb", m, n, k);
+    }
+    {
+      const auto a = random_vec(static_cast<std::size_t>(m) * k, rng, scale);
+      const auto b = random_vec(static_cast<std::size_t>(n) * k, rng, scale);
+      auto c0 = base, c1 = base;
+      nn::naive_sgemm_abt(m, n, k, a.data(), b.data(), c0.data());
+      nn::sgemm_abt_on(path, m, n, k, a.data(), b.data(), c1.data());
+      expect_close(c1, c0, tol, mag_floor, "sgemm_abt", m, n, k);
+    }
+  }
+}
+
+TEST(KernelParity, EveryPathMatchesNaiveOnRandomShapes) {
+  for (const KernelPath path : available_paths()) {
+    SCOPED_TRACE(std::string{nn::kernel_path_name(path)});
+    run_parity_for_path(path, /*scale=*/1.0f, /*tol=*/1e-4f);
+  }
+}
+
+TEST(KernelParity, DenormalOperandsStayFinite) {
+  // ~1e-40 operands: products are far below FLT_MIN, so the kernels chew
+  // through denormals (or flush to zero). The assertion is parity + no UB;
+  // run under ASan/UBSan in CI.
+  for (const KernelPath path : available_paths()) {
+    SCOPED_TRACE(std::string{nn::kernel_path_name(path)});
+    run_parity_for_path(path, /*scale=*/1e-40f, /*tol=*/1e-4f);
+  }
+}
+
+TEST(KernelParity, LargeMagnitudeOperands) {
+  // ~1e18 operands make ~1e36 products: close enough to FLT_MAX that a
+  // careless extra accumulation would overflow, far enough that k <= 128
+  // sums stay finite. Relative tolerance absorbs reassociation error.
+  for (const KernelPath path : available_paths()) {
+    SCOPED_TRACE(std::string{nn::kernel_path_name(path)});
+    run_parity_for_path(path, /*scale=*/1e18f, /*tol=*/1e-4f);
+  }
+}
+
+TEST(KernelParity, RandomRaggedFuzz) {
+  // 64 random ragged shapes per path, sizes chosen to keep the naive oracle
+  // cheap while crossing the tile boundaries in combinations the fixed list
+  // misses.
+  for (const KernelPath path : available_paths()) {
+    SCOPED_TRACE(std::string{nn::kernel_path_name(path)});
+    Rng shapes{0xF0221ull};
+    for (int iter = 0; iter < 64; ++iter) {
+      const int m = static_cast<int>(shapes.next_u64() % 24);
+      const int n = static_cast<int>(shapes.next_u64() % 48);
+      const int k = static_cast<int>(shapes.next_u64() % 140);
+      Rng rng{0xABCDull + static_cast<std::uint64_t>(iter)};
+      const auto base = random_vec(static_cast<std::size_t>(m) * n, rng);
+      const auto a = random_vec(static_cast<std::size_t>(m) * k, rng);
+      const auto b = random_vec(static_cast<std::size_t>(k) * n, rng);
+      auto c0 = base, c1 = base;
+      nn::naive_sgemm(m, n, k, a.data(), b.data(), c0.data());
+      nn::sgemm_on(path, m, n, k, a.data(), b.data(), c1.data());
+      expect_close(c1, c0, 1e-4f, std::max(1.0f, static_cast<float>(k)), "sgemm(fuzz)", m, n,
+                   k);
+    }
+  }
+}
+
+TEST(KernelParity, ScalarSgemmBitExactVsNaiveOnZeroedC) {
+  // With C zero-initialized, the scalar sgemm/sgemm_atb kernels perform the
+  // naive oracle's additions in the naive order (the blocking only unrolls),
+  // so parity is exact to the bit. This is the anchor the committed goldens
+  // rest on. (sgemm_abt's 8-lane pinned reduction is deliberately excluded:
+  // deterministic, but a different summation order than naive.)
+  Rng rng{0xB17ull};
+  for (const auto& s : kShapes) {
+    const int m = s[0], n = s[1], k = s[2];
+    {
+      const auto a = random_vec(static_cast<std::size_t>(m) * k, rng);
+      const auto b = random_vec(static_cast<std::size_t>(k) * n, rng);
+      std::vector<float> c0(static_cast<std::size_t>(m) * n, 0.0f), c1 = c0;
+      nn::naive_sgemm(m, n, k, a.data(), b.data(), c0.data());
+      nn::sgemm_on(KernelPath::kScalar, m, n, k, a.data(), b.data(), c1.data());
+      for (std::size_t i = 0; i < c0.size(); ++i) {
+        ASSERT_EQ(std::bit_cast<std::uint32_t>(c0[i]), std::bit_cast<std::uint32_t>(c1[i]))
+            << "sgemm " << m << "x" << n << "x" << k << " at " << i;
+      }
+    }
+    {
+      const auto a = random_vec(static_cast<std::size_t>(k) * m, rng);
+      const auto b = random_vec(static_cast<std::size_t>(k) * n, rng);
+      std::vector<float> c0(static_cast<std::size_t>(m) * n, 0.0f), c1 = c0;
+      nn::naive_sgemm_atb(m, n, k, a.data(), b.data(), c0.data());
+      nn::sgemm_atb_on(KernelPath::kScalar, m, n, k, a.data(), b.data(), c1.data());
+      for (std::size_t i = 0; i < c0.size(); ++i) {
+        ASSERT_EQ(std::bit_cast<std::uint32_t>(c0[i]), std::bit_cast<std::uint32_t>(c1[i]))
+            << "sgemm_atb " << m << "x" << n << "x" << k << " at " << i;
+      }
+    }
+  }
+}
+
+TEST(KernelParity, IgemmBitExactOnEveryPath) {
+  // int32 accumulation of int8 products is exact integer arithmetic: every
+  // backend must agree with the oracle bit-for-bit, prefilled C included.
+  Rng rng{0x18ull};
+  const int shapes[][3] = {{1, 1, 1},  {1, 1, 0},  {0, 2, 3},   {4, 0, 3},
+                           {1, 12, 31}, {4, 16, 64}, {5, 17, 33}, {9, 23, 300}};
+  for (const auto& s : shapes) {
+    const int m = s[0], n = s[1], k = s[2];
+    const auto a = random_s8(static_cast<std::size_t>(m) * k, rng);
+    const auto b = random_s8(static_cast<std::size_t>(n) * k, rng);
+    std::vector<std::int32_t> base(static_cast<std::size_t>(m) * n);
+    for (auto& x : base) x = static_cast<std::int32_t>(rng.next_u64() % 1000) - 500;
+    auto c0 = base;
+    nn::naive_igemm_abt(m, n, k, a.data(), b.data(), c0.data());
+    for (const KernelPath path : available_paths()) {
+      auto c1 = base;
+      nn::igemm_abt_on(path, m, n, k, a.data(), b.data(), c1.data());
+      EXPECT_EQ(c0, c1) << nn::kernel_path_name(path) << " igemm_abt " << m << "x" << n << "x"
+                        << k;
+    }
+  }
+}
+
+TEST(KernelParity, IgemmU8S8BitExactOnConformingInputs) {
+  // igemm_abt_u8s8 narrows the contract to A codes in [0,127] (every int8
+  // activation tensor: binary BEV input, post-ReLU interiors). On such inputs
+  // the signed oracle is the exact answer on every path — including AVX2's
+  // vpmaddubsw body, which reads A as unsigned.
+  Rng rng{0x85ull};
+  const int shapes[][3] = {{1, 1, 1},   {1, 1, 0},   {0, 2, 3},   {4, 0, 3},
+                           {1, 12, 31}, {4, 16, 64}, {5, 17, 33}, {9, 23, 300},
+                           {64, 8, 64}, {3, 7, 96}};
+  for (const auto& s : shapes) {
+    const int m = s[0], n = s[1], k = s[2];
+    auto a = random_s8(static_cast<std::size_t>(m) * k, rng);
+    for (auto& v : a) v = static_cast<std::int8_t>(std::abs(static_cast<int>(v)) % 128);
+    const auto b = random_s8(static_cast<std::size_t>(n) * k, rng);
+    std::vector<std::int32_t> base(static_cast<std::size_t>(m) * n);
+    for (auto& x : base) x = static_cast<std::int32_t>(rng.next_u64() % 1000) - 500;
+    auto c0 = base;
+    nn::naive_igemm_abt(m, n, k, a.data(), b.data(), c0.data());
+    for (const KernelPath path : available_paths()) {
+      auto c1 = base;
+      nn::igemm_abt_u8s8_on(path, m, n, k, a.data(), b.data(), c1.data());
+      EXPECT_EQ(c0, c1) << nn::kernel_path_name(path) << " igemm_abt_u8s8 " << m << "x" << n
+                        << "x" << k;
+    }
+  }
+}
+
+TEST(KernelParity, IgemmU8S8SaturationEdge) {
+  // Worst conforming case: a = 127, b alternating +/-127 over a K long
+  // enough to cross the 32-byte vpmaddubsw main loop, the 16-byte step, and
+  // the scalar tail (k = 77). Pairwise i16 sums reach +/-32258, just inside
+  // int16 — exactness here is what makes the u8s8 shortcut legal at all.
+  const int m = 3, n = 5, k = 77;
+  std::vector<std::int8_t> a(static_cast<std::size_t>(m) * k, 127);
+  std::vector<std::int8_t> b(static_cast<std::size_t>(n) * k);
+  for (std::size_t i = 0; i < b.size(); ++i) b[i] = (i % 2 == 0) ? 127 : -127;
+  std::vector<std::int32_t> c0(static_cast<std::size_t>(m) * n, 0);
+  nn::naive_igemm_abt(m, n, k, a.data(), b.data(), c0.data());
+  for (const KernelPath path : available_paths()) {
+    std::vector<std::int32_t> c1(static_cast<std::size_t>(m) * n, 0);
+    nn::igemm_abt_u8s8_on(path, m, n, k, a.data(), b.data(), c1.data());
+    EXPECT_EQ(c0, c1) << nn::kernel_path_name(path);
+  }
+}
+
+TEST(KernelParity, IgemmSaturatedOperandsDoNotOverflow) {
+  // Worst case codes: all +/-127 over a long K. 127*127*512 ~= 8.3e6, far
+  // inside int32, and the AVX2 madd-pair path must not wrap int16 either
+  // (its pairwise sums reach 2*127*127 = 32258 < 32767).
+  const int m = 3, n = 5, k = 512;
+  std::vector<std::int8_t> a(static_cast<std::size_t>(m) * k, 127);
+  std::vector<std::int8_t> b(static_cast<std::size_t>(n) * k);
+  for (std::size_t i = 0; i < b.size(); ++i) b[i] = (i % 2 == 0) ? 127 : -127;
+  std::vector<std::int32_t> c0(static_cast<std::size_t>(m) * n, 0);
+  nn::naive_igemm_abt(m, n, k, a.data(), b.data(), c0.data());
+  for (const KernelPath path : available_paths()) {
+    std::vector<std::int32_t> c1(static_cast<std::size_t>(m) * n, 0);
+    nn::igemm_abt_on(path, m, n, k, a.data(), b.data(), c1.data());
+    EXPECT_EQ(c0, c1) << nn::kernel_path_name(path);
+  }
+}
+
+// --- layer 2: dispatch plumbing --------------------------------------------
+
+TEST(KernelDispatch, ScalarAlwaysAvailableAndBestIsAvailable) {
+  EXPECT_TRUE(nn::kernel_path_available(KernelPath::kScalar));
+  EXPECT_TRUE(nn::kernel_path_available(nn::best_kernel_path()));
+  EXPECT_TRUE(nn::kernel_path_available(nn::active_kernel_path()));
+}
+
+TEST(KernelDispatch, NamesRoundTripThroughParse) {
+  for (const KernelPath p : {KernelPath::kScalar, KernelPath::kAvx2, KernelPath::kNeon}) {
+    const auto parsed = nn::parse_kernel_path(nn::kernel_path_name(p));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, p);
+  }
+  EXPECT_EQ(nn::parse_kernel_path("auto"), std::nullopt);
+  EXPECT_EQ(nn::parse_kernel_path(""), std::nullopt);
+  EXPECT_EQ(nn::parse_kernel_path("AVX2"), std::nullopt);
+  EXPECT_EQ(nn::parse_kernel_path("sse42"), std::nullopt);
+}
+
+TEST(KernelDispatch, SetKernelPathRejectsUnavailablePaths) {
+  for (const KernelPath p : {KernelPath::kAvx2, KernelPath::kNeon}) {
+    if (nn::kernel_path_available(p)) continue;
+    EXPECT_THROW(nn::set_kernel_path(p), std::invalid_argument);
+    EXPECT_THROW(
+        nn::sgemm_on(p, 0, 0, 0, nullptr, nullptr, nullptr), std::invalid_argument);
+  }
+}
+
+TEST(KernelDispatch, ScopedOverrideRestores) {
+  const KernelPath before = nn::active_kernel_path();
+  {
+    nn::ScopedKernelPath guard{KernelPath::kScalar};
+    EXPECT_EQ(nn::active_kernel_path(), KernelPath::kScalar);
+  }
+  EXPECT_EQ(nn::active_kernel_path(), before);
+}
+
+TEST(KernelDispatch, CacheKeySaltIsIdentityOnScalarOnly) {
+  const std::uint64_t key = 0xB64685EC8CDC8984ull;
+  {
+    nn::ScopedKernelPath guard{KernelPath::kScalar};
+    // Scalar produced every historical cache entry; its keys must not move.
+    EXPECT_EQ(nn::salt_with_kernel_path(key), key);
+  }
+  for (const KernelPath p : available_paths()) {
+    if (p == KernelPath::kScalar) continue;
+    nn::ScopedKernelPath guard{p};
+    const std::uint64_t salted = nn::salt_with_kernel_path(key);
+    EXPECT_NE(salted, key) << nn::kernel_path_name(p);
+    // Deterministic: the same path salts the same key to the same value.
+    EXPECT_EQ(salted, nn::salt_with_kernel_path(key));
+  }
+}
+
+// --- layers 3 & 4: engine determinism spine + the int8 knob ----------------
+
+/// Tiny fleet: a second or two per run.
+engine::ScenarioConfig tiny_cfg(std::uint64_t seed) {
+  engine::ScenarioConfig cfg;
+  cfg.seed = seed;
+  cfg.num_vehicles = 3;
+  cfg.world.num_background_cars = 4;
+  cfg.world.num_pedestrians = 6;
+  cfg.collect_duration_s = 30.0;
+  cfg.collect_fps = 1.0;
+  cfg.eval_frames_per_vehicle = 2;
+  cfg.duration_s = 30.0;
+  cfg.eval_interval_s = 10.0;
+  cfg.train_interval_s = 2.0;
+  cfg.batch_size = 4;
+  cfg.coreset_size = 12;
+  cfg.pair_cooldown_s = 5.0;
+  cfg.time_budget_s = 8.0;
+  cfg.radio.max_range_m = 400.0;
+  cfg.wire.model_bytes = 4ull * 1024 * 1024;
+  cfg.wire.coreset_bytes_per_sample = 1024;
+  return cfg;
+}
+
+engine::FleetSim make_sim(const engine::ScenarioConfig& cfg, const char* approach = "LbChat") {
+  return engine::FleetSim{cfg, baselines::registry().make(approach, {})};
+}
+
+std::vector<std::uint64_t> curve_bits(const engine::RunMetrics& m) {
+  std::vector<std::uint64_t> bits;
+  for (std::size_t i = 0; i < m.loss_curve.size(); ++i) {
+    bits.push_back(std::bit_cast<std::uint64_t>(m.loss_curve.times[i]));
+    bits.push_back(std::bit_cast<std::uint64_t>(m.loss_curve.values[i]));
+  }
+  return bits;
+}
+
+std::vector<std::uint8_t> checkpoint_of(const engine::FleetSim& sim) {
+  ByteWriter w;
+  sim.save_checkpoint(w);
+  return w.bytes();
+}
+
+class KernelEnginePathTest : public ::testing::TestWithParam<KernelPath> {};
+
+TEST_P(KernelEnginePathTest, ThreadCountBitIdentity) {
+  const KernelPath path = GetParam();
+  if (!nn::kernel_path_available(path)) GTEST_SKIP() << "path unavailable on this build/CPU";
+  nn::ScopedKernelPath guard{path};
+  engine::ScenarioConfig cfg = tiny_cfg(41);
+  cfg.num_threads = 1;
+  auto one = make_sim(cfg).run();
+  cfg.num_threads = 4;
+  auto four = make_sim(cfg).run();
+  EXPECT_EQ(curve_bits(one), curve_bits(four));
+}
+
+TEST_P(KernelEnginePathTest, CheckpointResumeBitIdentity) {
+  const KernelPath path = GetParam();
+  if (!nn::kernel_path_available(path)) GTEST_SKIP() << "path unavailable on this build/CPU";
+  nn::ScopedKernelPath guard{path};
+  const engine::ScenarioConfig cfg = tiny_cfg(43);
+
+  auto straight = make_sim(cfg);
+  straight.prepare();
+  straight.run_until(cfg.duration_s);
+  const auto m_straight = straight.finalize();
+
+  auto first = make_sim(cfg);
+  first.prepare();
+  first.run_until(15.0);
+  const auto bytes = checkpoint_of(first);
+  auto resumed = make_sim(cfg);
+  ByteReader r{bytes};
+  ASSERT_EQ(resumed.restore(r), engine::CkptStatus::kOk);
+  resumed.run_until(cfg.duration_s);
+  const auto m_resumed = resumed.finalize();
+
+  EXPECT_EQ(curve_bits(m_straight), curve_bits(m_resumed));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPaths, KernelEnginePathTest,
+                         ::testing::Values(KernelPath::kScalar, KernelPath::kAvx2,
+                                           KernelPath::kNeon),
+                         [](const auto& info) {
+                           return std::string{nn::kernel_path_name(info.param)};
+                         });
+
+TEST(Int8EvalKnob, OffIsBitInert) {
+  // Flag off must be indistinguishable from a build that never heard of the
+  // int8 path: same fingerprint, same checkpoint bytes, same loss bits.
+  nn::ScopedKernelPath guard{KernelPath::kScalar};
+  const engine::ScenarioConfig base = tiny_cfg(47);
+  engine::ScenarioConfig off = base;
+  off.int8_eval.enabled = false;
+  off.int8_eval.value_scoring = false;  // sub-knobs are dead while disabled
+  off.int8_eval.eval_loss = false;
+
+  EXPECT_EQ(scenario_fingerprint(base, "LbChat"), scenario_fingerprint(off, "LbChat"));
+
+  auto sim_base = make_sim(base);
+  sim_base.prepare();
+  sim_base.run_until(base.duration_s);
+  const auto ckpt_base = checkpoint_of(sim_base);
+  const auto m_base = sim_base.finalize();
+
+  auto sim_off = make_sim(off);
+  sim_off.prepare();
+  sim_off.run_until(off.duration_s);
+  const auto ckpt_off = checkpoint_of(sim_off);
+  const auto m_off = sim_off.finalize();
+
+  EXPECT_EQ(ckpt_base, ckpt_off);
+  EXPECT_EQ(curve_bits(m_base), curve_bits(m_off));
+}
+
+TEST(Int8EvalKnob, DefaultFingerprintStillPinned) {
+  // The Int8EvalConfig member must not have moved the historical digest
+  // (tests/fingerprint_test.cpp pins the same value; double-anchored here
+  // because this suite is the one CI runs per kernel path).
+  engine::ScenarioConfig cfg;
+  EXPECT_EQ(scenario_fingerprint(cfg, "LbChat"), 0xB64685EC8CDC8984ull);
+}
+
+TEST(Int8EvalKnob, OnSplitsFingerprintAndChangesLosses) {
+  nn::ScopedKernelPath guard{KernelPath::kScalar};
+  const engine::ScenarioConfig base = tiny_cfg(53);
+  engine::ScenarioConfig on = base;
+  on.int8_eval.enabled = true;
+
+  EXPECT_NE(scenario_fingerprint(on, "LbChat"), scenario_fingerprint(base, "LbChat"));
+  // Sub-knobs are live once enabled.
+  engine::ScenarioConfig values_off = on;
+  values_off.int8_eval.value_scoring = false;
+  EXPECT_NE(scenario_fingerprint(values_off, "LbChat"), scenario_fingerprint(on, "LbChat"));
+  engine::ScenarioConfig loss_off = on;
+  loss_off.int8_eval.eval_loss = false;
+  EXPECT_NE(scenario_fingerprint(loss_off, "LbChat"), scenario_fingerprint(on, "LbChat"));
+
+  const auto m_on = make_sim(on).run();
+  const auto m_base = make_sim(base).run();
+  // The quantized eval really is a different measurement.
+  EXPECT_NE(curve_bits(m_on), curve_bits(m_base));
+}
+
+TEST(Int8EvalKnob, OnIsThreadCountBitIdentical) {
+  nn::ScopedKernelPath guard{KernelPath::kScalar};
+  engine::ScenarioConfig cfg = tiny_cfg(59);
+  cfg.int8_eval.enabled = true;
+  cfg.num_threads = 1;
+  const auto one = make_sim(cfg).run();
+  cfg.num_threads = 4;
+  const auto four = make_sim(cfg).run();
+  EXPECT_EQ(curve_bits(one), curve_bits(four));
+}
+
+// --- int8 forward-path accuracy --------------------------------------------
+
+data::Sample make_sample(Rng& rng, data::Command cmd) {
+  data::Sample s;
+  s.bev = data::BevGrid{data::kDefaultBevSpec};
+  for (auto& c : s.bev.cells) c = rng.chance(0.2) ? 1 : 0;
+  s.command = cmd;
+  for (auto& w : s.waypoints) w = static_cast<float>(rng.uniform(-0.5, 0.5));
+  s.id = rng.next_u64();
+  return s;
+}
+
+TEST(Int8Policy, QuantizerRoundTripBound) {
+  // |x - dequant(quant(x))| <= scale/2 per coordinate (round-to-nearest
+  // symmetric absmax), scale = rowmax/127.
+  Rng rng{61};
+  const std::size_t rows = 7, row_len = 33;
+  std::vector<float> w(rows * row_len);
+  for (float& x : w) x = static_cast<float>(rng.normal());
+  const nn::Int8Rows q = nn::quantize_rows_s8(w, row_len);
+  ASSERT_EQ(q.codes.size(), w.size());
+  ASSERT_EQ(q.scales.size(), rows);
+  for (std::size_t r = 0; r < rows; ++r) {
+    float absmax = 0.0f;
+    for (std::size_t j = 0; j < row_len; ++j) {
+      absmax = std::max(absmax, std::abs(w[r * row_len + j]));
+    }
+    EXPECT_NEAR(q.scales[r], absmax / 127.0f, 1e-9f);
+    for (std::size_t j = 0; j < row_len; ++j) {
+      const float back = static_cast<float>(q.codes[r * row_len + j]) * q.scales[r];
+      EXPECT_LE(std::abs(back - w[r * row_len + j]), q.scales[r] * 0.5f + 1e-7f);
+    }
+  }
+}
+
+TEST(Int8Policy, AllZeroRowsQuantizeToZero) {
+  const std::vector<float> w(4 * 8, 0.0f);
+  const nn::Int8Rows q = nn::quantize_rows_s8(w, 8);
+  for (const float s : q.scales) EXPECT_EQ(s, 0.0f);
+  for (const auto c : q.codes) EXPECT_EQ(c, 0);
+  std::vector<std::int8_t> codes(8);
+  EXPECT_EQ(nn::quantize_tensor_s8(std::vector<float>(8, 0.0f), codes.data()), 0.0f);
+  for (const auto c : codes) EXPECT_EQ(c, 0);
+}
+
+TEST(Int8Policy, PredictTracksFloatPolicy) {
+  // No analytic bound survives two ReLU layers cleanly, so assert the
+  // empirical contract the eval path relies on: int8 predictions stay close
+  // to float ones relative to the activation magnitudes (~1% of the output
+  // scale for this 8-bit scheme), and the loss measurement stays close.
+  const nn::DrivingPolicy p{{}, 71};
+  const nn::Int8Policy q{p};
+  Rng rng{73};
+  for (int i = 0; i < 16; ++i) {
+    const auto s = make_sample(rng, i % 2 == 0 ? data::Command::kFollow : data::Command::kLeft);
+    const auto yf = p.predict(s.bev, s.command);
+    const auto yq = q.predict(s.bev, s.command);
+    ASSERT_EQ(yf.size(), yq.size());
+    float out_scale = 1e-3f;
+    for (std::size_t j = 0; j < yf.size(); ++j) out_scale = std::max(out_scale, std::abs(yf[j]));
+    for (std::size_t j = 0; j < yf.size(); ++j) {
+      EXPECT_LE(std::abs(yf[j] - yq[j]), 0.05f * out_scale + 1e-3f) << "sample " << i;
+    }
+    EXPECT_NEAR(q.sample_loss(s), p.sample_loss(s), 0.05 * (1.0 + p.sample_loss(s)));
+  }
+}
+
+TEST(Int8Policy, WeightedLossMirrorsFloatReduction) {
+  const nn::DrivingPolicy p{{}, 79};
+  const nn::Int8Policy q{p};
+  Rng rng{83};
+  std::vector<data::Sample> samples;
+  for (int i = 0; i < 6; ++i) samples.push_back(make_sample(rng, data::Command::kRight));
+  const std::vector<double> weights{1.0, 0.5, 2.0, 0.0, 1.5, 3.0};
+  // Same reduction order as the float policy: evaluating twice is bit-equal
+  // (thread-count invariance upstream rests on this).
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(q.weighted_loss(samples, weights)),
+            std::bit_cast<std::uint64_t>(q.weighted_loss(samples, weights)));
+  EXPECT_NEAR(q.weighted_loss(samples, weights), p.weighted_loss(samples, weights),
+              0.05 * (1.0 + p.weighted_loss(samples, weights)));
+}
+
+TEST(Int8Policy, BitIdenticalAcrossDispatchPaths) {
+  // The quantized forward pass runs on exact integer GEMM; the float layers
+  // around it are elementwise. An int8 evaluation is therefore reproducible
+  // bit-for-bit on every dispatch path — the property that lets --int8-eval
+  // compose with any --kernel.
+  const nn::DrivingPolicy p{{}, 89};
+  const nn::Int8Policy q{p};
+  Rng rng{97};
+  const auto s = make_sample(rng, data::Command::kStraight);
+  std::optional<std::uint64_t> want;
+  for (const KernelPath path : available_paths()) {
+    nn::ScopedKernelPath guard{path};
+    const std::uint64_t bits = std::bit_cast<std::uint64_t>(q.sample_loss(s));
+    if (!want.has_value()) want = bits;
+    EXPECT_EQ(bits, *want) << nn::kernel_path_name(path);
+  }
+}
+
+TEST(Int8Policy, ParamNormMatchesDequantizedWeights) {
+  const nn::DrivingPolicy p{{}, 101};
+  const nn::Int8Policy q{p};
+  const double float_norm = nn::param_l2_norm(p.params());
+  // The dequantized norm is the float norm up to quantization error.
+  EXPECT_NEAR(q.param_l2_norm(), float_norm, 0.01 * (1.0 + float_norm));
+  EXPECT_GT(q.param_l2_norm(), 0.0);
+}
+
+}  // namespace
+}  // namespace lbchat

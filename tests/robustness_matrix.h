@@ -23,6 +23,7 @@
 #include "common/bytes.h"
 #include "common/frame.h"
 #include "engine/fleet.h"
+#include "nn/kernel_dispatch.h"
 #include "obs/obs.h"
 
 namespace lbchat::robustness {
@@ -123,6 +124,9 @@ inline std::uint64_t fnv64(std::uint64_t h, std::uint64_t v) {
 
 /// Run one cell (event tracing off) and digest it.
 inline CellResult run_matrix_cell(const MatrixScenario& sc, const char* approach) {
+  // Pinned digests assume the scalar kernel path (DESIGN.md §15), same as
+  // the golden-scenario suite.
+  nn::ScopedKernelPath kernel_guard{nn::KernelPath::kScalar};
   obs::reset();
   obs::set_events_enabled(false);
   engine::FleetSim sim{matrix_config(sc),
